@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the scalar/vector kernels that
+ * calibrate the CPU baseline (Sec 8): modular multiplication, NTTs
+ * across sizes, changeRNSBase MACs, and the KSHGen expansion
+ * (Keccak + rejection sampling).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "rns/baseconv.h"
+#include "rns/ntt.h"
+#include "rns/primes.h"
+#include "util/prng.h"
+
+namespace {
+
+using namespace cl;
+
+void
+BM_ModMul(benchmark::State &state)
+{
+    const std::size_t n = 1 << 14;
+    const u64 q = generateNttPrimes(28, n, 1)[0];
+    std::vector<u64> a(n), b(n);
+    FastRng rng(1);
+    for (std::size_t i = 0; i < n; ++i) {
+        a[i] = rng.nextBelow(q);
+        b[i] = rng.nextBelow(q);
+    }
+    for (auto _ : state) {
+        u64 acc = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            acc ^= mulMod(a[i], b[i], q);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ModMul);
+
+void
+BM_ShoupMac(benchmark::State &state)
+{
+    const std::size_t n = 1 << 14;
+    const u64 q = generateNttPrimes(28, n, 1)[0];
+    std::vector<u64> x(n), acc(n, 0);
+    FastRng rng(2);
+    for (auto &v : x)
+        v = rng.nextBelow(q);
+    const ShoupMul c(987654321 % q, q);
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < n; ++i)
+            acc[i] = addMod(acc[i], c.mul(x[i], q), q);
+        benchmark::DoNotOptimize(acc.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ShoupMac);
+
+void
+BM_Ntt(benchmark::State &state)
+{
+    const std::size_t n = std::size_t{1} << state.range(0);
+    const u64 q = generateNttPrimes(28, n, 1)[0];
+    NttTables tables(n, q);
+    std::vector<u64> a(n);
+    FastRng rng(3);
+    for (auto &v : a)
+        v = rng.nextBelow(q);
+    for (auto _ : state) {
+        tables.forward(a.data());
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n / 2 *
+                            log2Exact(n)); // butterflies
+}
+BENCHMARK(BM_Ntt)->Arg(12)->Arg(14)->Arg(16);
+
+void
+BM_Intt(benchmark::State &state)
+{
+    const std::size_t n = std::size_t{1} << state.range(0);
+    const u64 q = generateNttPrimes(28, n, 1)[0];
+    NttTables tables(n, q);
+    std::vector<u64> a(n);
+    FastRng rng(4);
+    for (auto &v : a)
+        v = rng.nextBelow(q);
+    for (auto _ : state) {
+        tables.inverse(a.data());
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n / 2 * log2Exact(n));
+}
+BENCHMARK(BM_Intt)->Arg(12)->Arg(16);
+
+void
+BM_ChangeRnsBase(benchmark::State &state)
+{
+    const std::size_t n = 1 << 12;
+    const unsigned ls = static_cast<unsigned>(state.range(0));
+    auto primes = generateNttPrimes(28, n, 2 * ls);
+    RnsChain chain(n, primes);
+    std::vector<unsigned> src, dst;
+    for (unsigned i = 0; i < ls; ++i) {
+        src.push_back(i);
+        dst.push_back(ls + i);
+    }
+    BaseConverter conv(chain, src, dst);
+    std::vector<std::vector<u64>> in(ls, std::vector<u64>(n));
+    FastRng rng(5);
+    for (auto &res : in) {
+        for (auto &v : res)
+            v = rng.nextBelow(primes[0]);
+    }
+    std::vector<std::vector<u64>> out;
+    for (auto _ : state) {
+        conv.convert(in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * ls * ls); // MACs
+}
+BENCHMARK(BM_ChangeRnsBase)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_KshGenExpansion(benchmark::State &state)
+{
+    // Seeded expansion of one residue polynomial, as the KSHGen unit
+    // does on the fly (Sec 5.2).
+    const std::size_t n = 1 << 14;
+    const u64 q = generateNttPrimes(28, n, 1)[0];
+    std::vector<u64> out(n);
+    std::uint64_t domain = 0;
+    for (auto _ : state) {
+        RejectionSampler sampler(42, ++domain, q);
+        sampler.fill(out.data(), n);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KshGenExpansion);
+
+void
+BM_KeccakF1600(benchmark::State &state)
+{
+    std::array<std::uint64_t, 25> st{};
+    st[0] = 1;
+    for (auto _ : state) {
+        keccakF1600(st);
+        benchmark::DoNotOptimize(st.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KeccakF1600);
+
+} // namespace
+
+BENCHMARK_MAIN();

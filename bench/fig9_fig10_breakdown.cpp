@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Reproduces Fig 9 (FU and memory-bandwidth utilization), Fig 10a
+ * (off-chip traffic breakdown) and Fig 10b (power breakdown) for all
+ * eight benchmarks on the CraterLake configuration.
+ */
+
+#include <cstdio>
+
+#include "core/craterlake.h"
+#include "util/table.h"
+#include "workloads/benchmarks.h"
+
+namespace {
+
+struct PaperRef
+{
+    double trafficGB; // Fig 10a totals
+    double powerW;    // Fig 10b totals
+};
+
+const PaperRef paperRefs[8] = {
+    {73, 279},    // ResNet-20
+    {69, 212},    // LogReg
+    {62, 317},    // LSTM
+    {2, 248},     // Packed bootstrapping
+    {0.060, 122}, // Unpacked bootstrapping
+    {8, 218},     // CIFAR
+    {0.055, 81},  // MNIST UW
+    {0.122, 98},  // MNIST EW
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace cl;
+
+    std::printf("=== Fig 9 / Fig 10: utilization, traffic and power ===\n");
+    Accelerator accel(ChipConfig::craterLake());
+    const EnergyParams ep;
+    auto suite = benchmarkSuite(SecurityConfig::bits80());
+
+    TextTable t({"Benchmark", "FU util", "BW util", "Traffic", "paper",
+                 "KSH%", "In%", "LdInt%", "StInt%", "Power(W)", "paper"});
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &bench = suite[i];
+        const RunResult r = accel.execute(bench.prog);
+        const SimStats &s = r.stats;
+        const double total =
+            static_cast<double>(std::max<std::uint64_t>(
+                1, s.totalTrafficWords()));
+        const double gb =
+            total * r.config.wordBytes() / 1e9;
+        auto pct = [&](std::uint64_t w) {
+            return TextTable::num(100.0 * w / total, 0) + "%";
+        };
+        t.addRow({bench.name,
+                  TextTable::num(100 * s.fuUtilization(r.config), 0) + "%",
+                  TextTable::num(100 * s.memUtilization(), 0) + "%",
+                  TextTable::num(gb, gb < 1 ? 3 : 1) + "GB",
+                  TextTable::num(paperRefs[i].trafficGB,
+                                 paperRefs[i].trafficGB < 1 ? 3 : 0) + "GB",
+                  pct(s.kshLoadWords),
+                  pct(s.inputLoadWords + s.plainLoadWords),
+                  pct(s.intermLoadWords), pct(s.intermStoreWords),
+                  TextTable::num(s.avgPowerWatts(r.config, ep), 0),
+                  TextTable::num(paperRefs[i].powerW, 0)});
+    }
+    t.print();
+
+    // Fig 10b: power composition for the deep benchmarks.
+    std::printf("\nPower breakdown (Fig 10b):\n");
+    TextTable p({"Benchmark", "FUs", "RegFile", "NoC", "HBM", "Static"});
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const RunResult r = accel.execute(suite[i].prog);
+        const EnergyBreakdown e = r.stats.energy(r.config, ep);
+        const double total = e.total();
+        auto pct = [&](double j) {
+            return TextTable::num(100.0 * j / total, 0) + "%";
+        };
+        p.addRow({suite[i].name, pct(e.funcUnits), pct(e.registerFile),
+                  pct(e.network), pct(e.hbm), pct(e.staticEnergy)});
+    }
+    p.print();
+    std::printf("\nPaper: FUs dominate power (50-80%%); power within a "
+                "320 W envelope; deep benchmarks have higher traffic.\n");
+    return 0;
+}

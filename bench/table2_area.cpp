@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces Table 2: area breakdown of CraterLake by component
+ * (14/12 nm), plus the F1+ comparison point (Sec 8: 636 mm^2, 16x
+ * larger network) and the 5 nm scaling note (Sec 7).
+ */
+
+#include <cstdio>
+
+#include "hw/area.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace cl;
+
+    std::printf("=== Table 2: CraterLake area breakdown (14/12 nm) ===\n");
+
+    const ChipConfig cfg = ChipConfig::craterLake();
+    const AreaBreakdown a = areaModel(cfg);
+
+    TextTable t({"Component", "Area [mm^2]", "Paper"});
+    t.addRow({"CRB FU", TextTable::num(a.crb, 1), "158.8"});
+    t.addRow({"NTT FU (x2)", TextTable::num(a.ntt, 1), "28.1"});
+    t.addRow({"Automorphism FU", TextTable::num(a.automorphism, 1),
+              "9.0"});
+    t.addRow({"KSHGen FU", TextTable::num(a.kshGen, 1), "3.3"});
+    t.addRow({"Multiply FU (x5)", TextTable::num(a.multiply, 1), "2.2"});
+    t.addRow({"Add FU (x5)", TextTable::num(a.add, 1), "0.8"});
+    t.addSeparator();
+    t.addRow({"Total FUs", TextTable::num(a.totalFus(), 1), "240.5"});
+    t.addRow({"Register file (256MB)", TextTable::num(a.registerFile, 1),
+              "192.0"});
+    t.addRow({"On-chip interconnect", TextTable::num(a.interconnect, 1),
+              "10.0"});
+    t.addRow({"Mem PHYs (2x HBM2E)", TextTable::num(a.memPhy, 1),
+              "29.8"});
+    t.addSeparator();
+    t.addRow({"Total CraterLake", TextTable::num(a.total(), 1), "472.3"});
+    t.print();
+
+    // F1+ comparison (Sec 8).
+    const ChipConfig f1 = ChipConfig::f1plus();
+    const AreaBreakdown af = areaModel(f1);
+    std::printf("\nF1+ network area: %.1f mm^2 (%.1fx CraterLake's fixed "
+                "permutation network; paper: 160 mm^2, 16x)\n",
+                af.interconnect, af.interconnect / a.interconnect);
+
+    // 128K variant (Sec 9.4): ~27 mm^2 extra.
+    const AreaBreakdown a128 = areaModel(ChipConfig::craterLake128k());
+    std::printf("N=128K variant adds %.1f mm^2 (paper: 27.4 mm^2, <6%% "
+                "of chip)\n",
+                a128.total() - a.total());
+
+    std::printf("5 nm projection: %.0f mm^2 (paper: 157 mm^2)\n",
+                a.total() * areaScale5nm);
+
+    const bool ok = a.total() > 420 && a.total() < 520;
+    std::printf("\nTotal within 10%% of paper: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Reproduces Table 3: execution time of CraterLake, F1+, and a
+ * 32-core CPU on the four deep and four shallow benchmarks, with the
+ * paper's reported numbers side by side.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "baseline/cpumodel.h"
+#include "core/craterlake.h"
+#include "util/table.h"
+#include "workloads/benchmarks.h"
+
+namespace {
+
+struct PaperRow
+{
+    const char *name;
+    double clMs;
+    double f1Ms;
+    double cpuMs;
+};
+
+// Table 3 of the paper.
+const std::vector<PaperRow> paperRows = {
+    {"ResNet-20", 249.45, 2693, 23.0 * 60e3},
+    {"Logistic Regression", 119.52, 639, 356e3},
+    {"LSTM", 138.00, 2573, 859e3},
+    {"Packed Bootstrapping", 3.91, 58.3, 17.2e3},
+    {"Unpacked Bootstrapping", 0.10, 0.21, 877},
+    {"CIFAR Unencryp. Wghts.", 50.50, 94.1, 187e3},
+    {"MNIST Unencryp. Wghts.", 0.14, 0.13, 561},
+    {"MNIST Encryp. Wghts.", 0.24, 0.22, 1369},
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace cl;
+
+    std::printf("=== Table 3: CraterLake vs F1+ vs CPU ===\n");
+    std::printf("Calibrating CPU model on this host...\n");
+    const CpuKernelRates rates = measureCpuKernels();
+    std::printf("  modmul: %.2e/s  ntt-bfly: %.2e/s  mac: %.2e/s "
+                "(single core)\n\n",
+                rates.modmulPerSec, rates.nttButterflyPerSec,
+                rates.macPerSec);
+    const CpuModel cpu(rates);
+
+    const SecurityConfig sec = SecurityConfig::bits80();
+    Accelerator craterlake(ChipConfig::craterLake());
+    Accelerator f1plus(ChipConfig::f1plus());
+
+    TextTable t({"Benchmark", "CL (ms)", "paper", "F1+ (ms)", "paper",
+                 "CPU (ms)", "paper", "vs F1+", "paper", "vs CPU",
+                 "paper"});
+
+    auto suite = benchmarkSuite(sec);
+    // F1+ uses its own keyswitching algorithm selection.
+    SecurityConfig sec_f1 = sec;
+    sec_f1.policy = f1plusPolicy(sec.policy);
+    auto suite_f1 = benchmarkSuite(sec_f1);
+
+    double gm_deep_f1 = 1, gm_deep_cpu = 1;
+    double gm_shallow_f1 = 1, gm_shallow_cpu = 1;
+    int n_deep = 0, n_shallow = 0;
+
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const auto &bench = suite[i];
+        const auto &paper = paperRows[i];
+
+        const RunResult cl_res = craterlake.execute(bench.prog);
+        const RunResult f1_res = f1plus.execute(suite_f1[i].prog);
+        const double cpu_s = cpu.run(bench.prog);
+
+        const double cl_ms = cl_res.milliseconds();
+        const double f1_ms = f1_res.milliseconds();
+        const double cpu_ms = cpu_s * 1e3;
+        const double vs_f1 = f1_ms / cl_ms;
+        const double vs_cpu = cpu_ms / cl_ms;
+
+        if (bench.deep) {
+            gm_deep_f1 *= vs_f1;
+            gm_deep_cpu *= vs_cpu;
+            ++n_deep;
+        } else {
+            gm_shallow_f1 *= vs_f1;
+            gm_shallow_cpu *= vs_cpu;
+            ++n_shallow;
+        }
+
+        t.addRow({bench.name, TextTable::num(cl_ms, cl_ms < 1 ? 3 : 2),
+                  TextTable::num(paper.clMs, paper.clMs < 1 ? 3 : 2),
+                  TextTable::num(f1_ms, f1_ms < 1 ? 3 : 1),
+                  TextTable::num(paper.f1Ms, paper.f1Ms < 1 ? 3 : 1),
+                  TextTable::num(cpu_ms, 0), TextTable::num(paper.cpuMs, 0),
+                  TextTable::speedup(vs_f1),
+                  TextTable::speedup(paper.f1Ms / paper.clMs),
+                  TextTable::speedup(vs_cpu),
+                  TextTable::speedup(paper.cpuMs / paper.clMs)});
+        if (i == 3)
+            t.addSeparator();
+    }
+
+    t.addSeparator();
+    t.addRow({"deep gmean", "", "", "", "", "", "",
+              TextTable::speedup(std::pow(gm_deep_f1, 1.0 / n_deep)),
+              "11.2x",
+              TextTable::speedup(std::pow(gm_deep_cpu, 1.0 / n_deep)),
+              "4611x"});
+    t.addRow({"shallow gmean", "", "", "", "", "", "",
+              TextTable::speedup(std::pow(gm_shallow_f1, 1.0 / n_shallow)),
+              "1.34x",
+              TextTable::speedup(std::pow(gm_shallow_cpu,
+                                          1.0 / n_shallow)),
+              "5220x"});
+    t.print();
+    std::printf("\n'paper' columns are Table 3 of the CraterLake paper; "
+                "shapes (who wins, by what order) should match.\n");
+    return 0;
+}

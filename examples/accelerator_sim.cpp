@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Accelerator walkthrough: build an FHE program with the compiler
+ * DSL, lower it for CraterLake, simulate it cycle-by-cycle, and
+ * inspect the run — the full hardware-evaluation flow the paper's
+ * methodology uses (Sec 6, Sec 8).
+ */
+
+#include <cstdio>
+
+#include "core/craterlake.h"
+#include "workloads/benchmarks.h"
+
+int
+main()
+{
+    using namespace cl;
+
+    std::printf("=== CraterLake accelerator walkthrough ===\n\n");
+
+    // A small deep program: encrypted dot products with a bootstrap
+    // in the middle, written against the builder DSL.
+    HomBuilder b("demo", 16, 57);
+    auto x = b.input(24);
+    auto w = b.input(24);
+    auto prod = b.mul(x, w, 2);
+    for (int r = 0; r < 8; ++r)
+        prod = b.add(prod, b.rotate(prod, 1 << r));
+    // Burn the rest of the budget, then refresh.
+    while (prod.level > 4)
+        prod = b.mul(prod, prod, 2);
+    std::printf("budget exhausted at level %u -> bootstrapping\n",
+                prod.level);
+    prod = b.bootstrap(prod);
+    std::printf("refreshed to level %u\n", prod.level);
+    prod = b.mul(prod, prod, 2); // keep computing: unbounded depth
+    b.output(prod);
+
+    const HomProgram prog = b.take();
+    std::printf("\nprogram: %zu homomorphic ops (%zu rotations, %zu "
+                "ct-ct muls, %zu pt muls)\n",
+                prog.ops.size(), prog.countKind(HomOpKind::Rotate),
+                prog.countKind(HomOpKind::Mul),
+                prog.countKind(HomOpKind::MulPlain));
+
+    // Compile + simulate on CraterLake and the F1+ baseline.
+    for (const ChipConfig &cfg :
+         {ChipConfig::craterLake(), ChipConfig::f1plus()}) {
+        Accelerator accel(cfg);
+        const RunResult r = accel.execute(prog);
+        std::printf("\n--- %s ---\n", cfg.name.c_str());
+        std::printf("  instructions:   %zu\n", r.instructions);
+        std::printf("  cycles:         %llu (%.3f ms at %.1f GHz)\n",
+                    static_cast<unsigned long long>(r.stats.cycles),
+                    r.milliseconds(), cfg.freqGhz);
+        std::printf("  FU utilization: %.0f%%\n",
+                    100 * r.stats.fuUtilization(cfg));
+        std::printf("  DRAM traffic:   %.2f GB (%.0f%% BW utilization)\n",
+                    r.stats.totalTrafficWords() * cfg.wordBytes() / 1e9,
+                    100 * r.stats.memUtilization());
+        std::printf("  keyswitches:    %llu\n",
+                    static_cast<unsigned long long>(
+                        r.lowering.keyswitches));
+        std::printf("  avg power:      %.0f W\n",
+                    r.stats.avgPowerWatts(cfg));
+    }
+
+    std::printf("\nCraterLake executes the same program with far fewer "
+                "stalls: the CRB and chained pipelines keep its wide "
+                "datapath busy where F1+ bottlenecks on register-file "
+                "ports (Sec 2.5, Sec 5).\n");
+    return 0;
+}

@@ -1,0 +1,376 @@
+#include "bootstrap.h"
+
+#include <cmath>
+#include <map>
+
+namespace cl {
+
+namespace {
+
+/**
+ * Chebyshev-basis division: rewrite p = sum b_j T_j as
+ * p = q(u) * T_g(u) + r(u) using T_{a+g} = 2 T_a T_g - T_{|a-g|}.
+ * Returns (q, r) coefficient vectors (also in the T basis).
+ */
+std::pair<std::vector<double>, std::vector<double>>
+chebDivide(std::vector<double> b, unsigned g)
+{
+    const std::size_t d = b.size() - 1;
+    CL_ASSERT(d >= g, "division degree too small");
+    std::vector<double> q(d - g + 1, 0.0);
+    for (std::size_t j = d; j > g; --j) {
+        if (b[j] == 0.0)
+            continue;
+        q[j - g] += 2.0 * b[j];
+        const std::size_t idx = j >= 2 * g ? j - 2 * g : 2 * g - j;
+        b[idx] -= b[j];
+        b[j] = 0.0;
+    }
+    // T_g * T_0 = T_g.
+    q[0] += b[g];
+    b[g] = 0.0;
+    b.resize(g);
+    return {std::move(q), std::move(b)};
+}
+
+/** Chebyshev coefficients of f on [-1, 1] by cosine projection. */
+std::vector<double>
+chebyshevFit(const std::function<double(double)> &f, unsigned degree)
+{
+    const unsigned m = 4096;
+    std::vector<double> c(degree + 1, 0.0);
+    for (unsigned k = 0; k < m; ++k) {
+        const double theta = M_PI * (k + 0.5) / m;
+        const double fv = f(std::cos(theta));
+        for (unsigned j = 0; j <= degree; ++j)
+            c[j] += fv * std::cos(j * theta);
+    }
+    for (unsigned j = 0; j <= degree; ++j)
+        c[j] *= (j == 0 ? 1.0 : 2.0) / m;
+    return c;
+}
+
+} // namespace
+
+Bootstrapper::Bootstrapper(const CkksContext &ctx,
+                           const CkksEncoder &encoder, KeyGenerator &keygen,
+                           BootstrapParams params)
+    : ctx_(ctx), encoder_(encoder), eval_(ctx), params_(params)
+{
+    const std::size_t n = ctx.slots();
+    CL_ASSERT(isPowerOfTwo(params_.babySteps), "babySteps power of two");
+    CL_ASSERT(ctx.params().secretHamming > 0 &&
+                  ctx.params().secretHamming <= 2 * (params_.k - 2),
+              "bootstrapping needs a sparse secret with ||s||_1 <= "
+              "2(K-2); got h=",
+              ctx.params().secretHamming, " for K=", params_.k);
+
+    // --- CoeffToSlot / SlotToCoeff matrices, probed directly from
+    //     the encoder's special FFT so slot ordering matches. ---
+    coeffToSlot_.assign(n, std::vector<Complex>(n));
+    slotToCoeff_.assign(n, std::vector<Complex>(n));
+    for (std::size_t k = 0; k < n; ++k) {
+        std::vector<Complex> e(n, Complex(0, 0));
+        e[k] = Complex(1, 0);
+        auto inv = e;
+        encoder_.fftSpecialInv(inv); // column k of the inverse map
+        auto fwd = e;
+        encoder_.fftSpecial(fwd); // column k of the forward map
+        for (std::size_t j = 0; j < n; ++j) {
+            coeffToSlot_[j][k] = inv[j];
+            slotToCoeff_[j][k] = fwd[j];
+        }
+    }
+
+    // --- EvalMod polynomial: (1/2pi) sin(2 pi K u) on [-1, 1]. ---
+    const double a = 2.0 * M_PI * params_.k;
+    chebCoeffs_ = chebyshevFit(
+        [a](double u) { return std::sin(a * u) / (2.0 * M_PI); },
+        params_.chebDegree);
+
+    // --- Keys: relinearization, conjugation, BSGS rotations. ---
+    relin_ = keygen.genRelinKey();
+    const unsigned n1 = std::min<unsigned>(params_.babySteps,
+                                           static_cast<unsigned>(n));
+    const unsigned n2 =
+        static_cast<unsigned>(ceilDiv(n, n1));
+    std::vector<int> steps;
+    for (unsigned b = 1; b < n1; ++b)
+        steps.push_back(static_cast<int>(b));
+    for (unsigned g = 1; g < n2; ++g)
+        steps.push_back(static_cast<int>(g * n1));
+    galois_ = keygen.genRotationKeys(steps, /*conjugate=*/true);
+}
+
+Ciphertext
+Bootstrapper::alignTo(const Ciphertext &ct, unsigned level,
+                      double scale) const
+{
+    Ciphertext r = ct;
+    const double rel = std::abs(r.scale - scale) / scale;
+    if (rel > 1e-9) {
+        CL_ASSERT(r.level() > level,
+                  "no spare level for scale alignment at level ",
+                  r.level());
+        r = eval_.mulScalar(r, scale / r.scale);
+        eval_.rescale(r);
+        r.scale = scale; // absorb the 2^-50 rounding mismatch
+    }
+    eval_.levelDrop(r, level);
+    return r;
+}
+
+void
+Bootstrapper::alignPair(Ciphertext &a, Ciphertext &b) const
+{
+    if (std::abs(a.scale - b.scale) / b.scale > 1e-9) {
+        // Correct the operand with more headroom (higher level).
+        Ciphertext &c = a.level() >= b.level() ? a : b;
+        Ciphertext &o = a.level() >= b.level() ? b : a;
+        c = eval_.mulScalar(c, o.scale / c.scale);
+        eval_.rescale(c);
+        c.scale = o.scale;
+    }
+    const unsigned lvl = std::min(a.level(), b.level());
+    eval_.levelDrop(a, lvl);
+    eval_.levelDrop(b, lvl);
+}
+
+Ciphertext
+Bootstrapper::mulConst(const Ciphertext &ct, Complex c) const
+{
+    const std::size_t n = ctx_.slots();
+    const double p_scale =
+        static_cast<double>(ct.c0.modulus(ct.level() - 1));
+    std::vector<Complex> v(n, c);
+    RnsPoly pt = encoder_.encode(v, p_scale, ct.level());
+    Ciphertext r = eval_.mulPlain(ct, pt, p_scale);
+    eval_.rescale(r);
+    return r;
+}
+
+Ciphertext
+Bootstrapper::linearTransform(const Ciphertext &ct, const Matrix &m) const
+{
+    const std::size_t n = ctx_.slots();
+    const unsigned n1 = std::min<unsigned>(params_.babySteps,
+                                           static_cast<unsigned>(n));
+    const unsigned n2 = static_cast<unsigned>(ceilDiv(n, n1));
+    const unsigned level = ct.level();
+    const double p_scale =
+        static_cast<double>(ct.c0.modulus(level - 1));
+
+    // Baby rotations of the input.
+    std::vector<Ciphertext> baby(n1);
+    baby[0] = ct;
+    for (unsigned b = 1; b < n1; ++b)
+        baby[b] = eval_.rotate(ct, static_cast<int>(b), galois_);
+
+    Ciphertext acc;
+    bool first = true;
+    for (unsigned g = 0; g < n2; ++g) {
+        Ciphertext inner;
+        bool inner_first = true;
+        for (unsigned b = 0; b < n1; ++b) {
+            const std::size_t d = static_cast<std::size_t>(g) * n1 + b;
+            if (d >= n)
+                break;
+            // Diagonal d of M, pre-rotated by -g*n1 for the BSGS
+            // giant-step rotation that follows.
+            std::vector<Complex> diag(n);
+            bool nonzero = false;
+            for (std::size_t j = 0; j < n; ++j) {
+                const std::size_t jj =
+                    (j + n - (static_cast<std::size_t>(g) * n1) % n) % n;
+                diag[j] = m[jj][(jj + d) % n];
+                nonzero |= std::abs(diag[j]) > 1e-14;
+            }
+            if (!nonzero)
+                continue;
+            RnsPoly pt = encoder_.encode(diag, p_scale, level);
+            Ciphertext term = eval_.mulPlain(baby[b], pt, p_scale);
+            inner = inner_first ? term : eval_.add(inner, term);
+            inner_first = false;
+        }
+        if (inner_first)
+            continue;
+        if (g > 0) {
+            inner = eval_.rotate(
+                inner, static_cast<int>(static_cast<std::size_t>(g) * n1),
+                galois_);
+        }
+        acc = first ? inner : eval_.add(acc, inner);
+        first = false;
+    }
+    CL_ASSERT(!first, "linear transform with all-zero matrix");
+    eval_.rescale(acc);
+    return acc;
+}
+
+Ciphertext
+Bootstrapper::evalChebyshev(const Ciphertext &u) const
+{
+    // Chebyshev ciphertexts T_j(u), built with the depth-logarithmic
+    // recurrence T_{a+b} = 2 T_a T_b - T_{|a-b|}.
+    std::map<unsigned, Ciphertext> cache;
+    cache.emplace(1, u);
+
+    std::function<const Ciphertext &(unsigned)> get_t =
+        [&](unsigned j) -> const Ciphertext & {
+        auto it = cache.find(j);
+        if (it != cache.end())
+            return it->second;
+        const unsigned a = (j + 1) / 2;
+        const unsigned b = j / 2;
+        Ciphertext ta = get_t(a);
+        Ciphertext tb = get_t(b);
+        const unsigned lvl = std::min(ta.level(), tb.level());
+        eval_.levelDrop(ta, lvl);
+        eval_.levelDrop(tb, lvl);
+        Ciphertext prod = eval_.multiply(ta, tb, relin_);
+        eval_.rescale(prod);
+        prod = eval_.add(prod, prod); // 2 T_a T_b
+        if (a == b) {
+            // T_{2a} = 2 T_a^2 - 1.
+            std::vector<Complex> one(ctx_.slots(), Complex(1, 0));
+            prod = eval_.subPlain(
+                prod, encoder_.encode(one, prod.scale, prod.level()));
+        } else {
+            // a - b == 1: subtract T_1 aligned to the product.
+            Ciphertext t1 = cache.at(1);
+            alignPair(prod, t1);
+            prod = eval_.sub(prod, t1);
+        }
+        return cache.emplace(j, std::move(prod)).first->second;
+    };
+
+    const unsigned m = params_.babySteps;
+
+    // Multiply a ciphertext's slots by a real factor while declaring
+    // an explicit output scale — one integer scalar multiply, no
+    // rescale, no level consumed. Used to give every term of a
+    // linear combination an identical (level, scale) pair exactly.
+    auto mul_scalar_raw = [&](const Ciphertext &ct, double factor,
+                              double target_scale) {
+        Ciphertext r = ct;
+        const double w_real = factor * target_scale / ct.scale;
+        const auto w = static_cast<long long>(std::llround(w_real));
+        CL_ASSERT(std::abs(w_real) < 9e18, "scalar overflow");
+        for (std::size_t t = 0; t < r.c0.towers(); ++t) {
+            const u64 q = r.c0.modulus(t);
+            const u64 wq = reduceSigned(w, q);
+            r.c0.mulScalarTower(t, wq);
+            r.c1.mulScalarTower(t, wq);
+        }
+        r.scale = target_scale;
+        return r;
+    };
+
+    std::function<Ciphertext(const std::vector<double> &)> eval_rec =
+        [&](const std::vector<double> &b) -> Ciphertext {
+        const std::size_t deg = b.size() - 1;
+        if (deg < m) {
+            // Direct combination sum_j b_j T_j: every term is raised
+            // to a shared target scale with one raw scalar multiply,
+            // summed, and rescaled once.
+            std::vector<unsigned> idx;
+            for (std::size_t j = 1; j <= deg; ++j) {
+                if (std::abs(b[j]) > 1e-13)
+                    idx.push_back(static_cast<unsigned>(j));
+            }
+            if (idx.empty()) {
+                // Constant block: zero out a copy of u, add b[0].
+                Ciphertext z = mul_scalar_raw(u, 0.0, u.scale);
+                std::vector<Complex> c0(ctx_.slots(),
+                                        Complex(b[0], 0));
+                return eval_.addPlain(
+                    z, encoder_.encode(c0, z.scale, z.level()));
+            }
+            unsigned lvl = u.level();
+            for (unsigned j : idx)
+                lvl = std::min(lvl, get_t(j).level());
+            const double q_last = static_cast<double>(
+                ctx_.chain().modulus(lvl - 1));
+            const double ref = get_t(idx[0]).scale;
+            const double target = ref * q_last;
+
+            Ciphertext acc;
+            bool first = true;
+            for (unsigned j : idx) {
+                Ciphertext t = get_t(j);
+                eval_.levelDrop(t, lvl);
+                t = mul_scalar_raw(t, b[j], target);
+                acc = first ? std::move(t) : eval_.add(acc, t);
+                first = false;
+            }
+            eval_.rescale(acc); // target / q_last == ref
+            if (std::abs(b[0]) > 1e-13) {
+                std::vector<Complex> c0(ctx_.slots(), Complex(b[0], 0));
+                acc = eval_.addPlain(
+                    acc, encoder_.encode(c0, acc.scale, acc.level()));
+            }
+            return acc;
+        }
+        unsigned g = m;
+        while (2 * g <= deg)
+            g *= 2;
+        auto [q, r] = chebDivide(b, g);
+        Ciphertext cq = eval_rec(q);
+        Ciphertext cr = eval_rec(r);
+        Ciphertext tg = get_t(g);
+        const unsigned lvl = std::min(cq.level(), tg.level());
+        eval_.levelDrop(cq, lvl);
+        eval_.levelDrop(tg, lvl);
+        Ciphertext prod = eval_.multiply(cq, tg, relin_);
+        eval_.rescale(prod);
+        alignPair(prod, cr);
+        return eval_.add(prod, cr);
+    };
+
+    return eval_rec(chebCoeffs_);
+}
+
+Ciphertext
+Bootstrapper::bootstrap(const Ciphertext &ct) const
+{
+    CL_ASSERT(ct.level() >= 1, "nothing to bootstrap");
+    const unsigned l_top = ctx_.l();
+    CL_ASSERT(ct.level() < l_top, "ciphertext already at the top");
+    const double d_app = ct.scale;
+    const double q0 = static_cast<double>(ctx_.chain().modulus(0));
+
+    // 1. ModRaise: Dec becomes m + q0*k over the full chain.
+    Ciphertext raised = eval_.modRaise(ct, l_top);
+
+    // 2. CoeffToSlot, then split the packed real/imag coefficient
+    //    halves with a conjugation.
+    Ciphertext t = linearTransform(raised, coeffToSlot_);
+    Ciphertext tc = eval_.conjugate(t, galois_);
+    Ciphertext u = eval_.add(t, tc);        // slots: 2*x1 (x = m+q0 k)
+    Ciphertext vr = eval_.sub(t, tc);       // slots: 2i*x2
+    Ciphertext v = mulConst(vr, Complex(0, -1)); // slots: 2*x2
+    eval_.levelDrop(u, v.level());
+
+    // Reinterpret scales so slots read as x/(K*q0) in [-1, 1].
+    const double s_norm = 2.0 * params_.k * q0 * (t.scale / d_app);
+    u.scale = s_norm;
+    v.scale = s_norm;
+
+    // 3. EvalMod on both halves: slots become ~ m/q0.
+    Ciphertext eu = evalChebyshev(u);
+    Ciphertext ev = evalChebyshev(v);
+
+    // 4. Recombine w = eu + i*ev, then SlotToCoeff.
+    Ciphertext evi = mulConst(ev, Complex(0, 1));
+    alignPair(eu, evi);
+    Ciphertext w = eval_.add(eu, evi);
+    Ciphertext out = linearTransform(w, slotToCoeff_);
+
+    // Slots now hold z(m)/q0; re-declare the scale so they read as
+    // z(m)/d_app, the original message.
+    out.scale = out.scale * d_app / q0;
+    depthUsed_ = l_top - out.level();
+    return out;
+}
+
+} // namespace cl

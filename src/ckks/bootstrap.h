@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Functional CKKS bootstrapping — the procedure that makes FHE
+ * computation unbounded (Sec 2.3, Fig 2), and the computation the
+ * paper's deep benchmarks revolve around.
+ *
+ * Pipeline (the packed algorithm of [11, 14, 53] that Sec 6 tunes):
+ *
+ *  1. ModRaise: lift the exhausted ciphertext to the top of the
+ *     modulus chain. Decryption becomes m + q0*k for a small integer
+ *     polynomial k (bounded by the secret's Hamming weight).
+ *  2. CoeffToSlot: homomorphically apply the inverse canonical
+ *     embedding so the coefficients of m + q0*k appear in slots
+ *     (one BSGS linear transform; its matrix is derived numerically
+ *     from the encoder's own special FFT, so it matches the slot
+ *     ordering by construction).
+ *  3. EvalMod: remove the q0*k term by evaluating
+ *     (1/2pi) sin(2pi x / q0) via a Chebyshev polynomial, using a
+ *     depth-logarithmic Paterson-Stockmeyer evaluation in the
+ *     Chebyshev basis.
+ *  4. SlotToCoeff: apply the forward embedding to return the cleaned
+ *     coefficients to their places.
+ *
+ * Functional at small N (the mathematics is size-generic); the
+ * accelerator-side cost of the same pipeline is modeled by
+ * HomBuilder::bootstrap for the full-scale benchmarks.
+ */
+
+#ifndef CL_CKKS_BOOTSTRAP_H
+#define CL_CKKS_BOOTSTRAP_H
+
+#include <functional>
+#include <vector>
+
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+
+namespace cl {
+
+struct BootstrapParams
+{
+    /** Range bound K: EvalMod handles |m + q0 k| < K*q0. Requires a
+     *  sparse secret with Hamming weight <= ~2(K-1). */
+    unsigned k = 16;
+    /** Chebyshev degree of the sine approximation. */
+    unsigned chebDegree = 159;
+    /** Baby-step count for the polynomial evaluation (power of 2). */
+    unsigned babySteps = 16;
+};
+
+class Bootstrapper
+{
+  public:
+    /**
+     * Precomputes the CoeffToSlot/SlotToCoeff matrices, the Chebyshev
+     * coefficients, and all rotation/relinearization keys.
+     */
+    Bootstrapper(const CkksContext &ctx, const CkksEncoder &encoder,
+                 KeyGenerator &keygen, BootstrapParams params = {});
+
+    /**
+     * Refresh an exhausted ciphertext: input at level >= 1, output at
+     * a high level with the same (approximate) message.
+     */
+    Ciphertext bootstrap(const Ciphertext &ct) const;
+
+    /** Levels the pipeline consumes from the top of the chain. */
+    unsigned depthUsed() const { return depthUsed_; }
+
+  private:
+    using Matrix = std::vector<std::vector<Complex>>; // row-major n x n
+
+    /** Homomorphic slot-linear transform by dense matrix M (BSGS). */
+    Ciphertext linearTransform(const Ciphertext &ct,
+                               const Matrix &m) const;
+
+    /** Evaluate the Chebyshev-basis polynomial at ct (slots in
+     *  [-1,1]); returns sum_j coeffs[j] T_j(ct). */
+    Ciphertext evalChebyshev(const Ciphertext &u) const;
+
+    /** Align a ciphertext to (level, scale), spending spare levels. */
+    Ciphertext alignTo(const Ciphertext &ct, unsigned level,
+                       double scale) const;
+
+    /** Bring two ciphertexts to a common (level, scale) pair,
+     *  spending a level of whichever operand can afford it. */
+    void alignPair(Ciphertext &a, Ciphertext &b) const;
+
+    Ciphertext mulConst(const Ciphertext &ct, Complex c) const;
+
+    const CkksContext &ctx_;
+    const CkksEncoder &encoder_;
+    Evaluator eval_;
+    BootstrapParams params_;
+
+    Matrix coeffToSlot_; // inverse special FFT
+    Matrix slotToCoeff_; // forward special FFT
+    std::vector<double> chebCoeffs_;
+    SwitchKey relin_;
+    GaloisKeys galois_;
+    mutable unsigned depthUsed_ = 0;
+};
+
+} // namespace cl
+
+#endif // CL_CKKS_BOOTSTRAP_H

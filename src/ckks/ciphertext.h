@@ -1,0 +1,39 @@
+/**
+ * @file
+ * CKKS ciphertext: two ring elements (c0, c1) over the data basis at
+ * the current level, decrypting as m ≈ c0 + c1·s. Tracks the exact
+ * scale (which drifts slightly from 2^scaleBits because RNS primes
+ * are not exact powers of two) so decode stays precise.
+ */
+
+#ifndef CL_CKKS_CIPHERTEXT_H
+#define CL_CKKS_CIPHERTEXT_H
+
+#include "poly/rnspoly.h"
+
+namespace cl {
+
+struct Ciphertext
+{
+    RnsPoly c0;
+    RnsPoly c1;
+    double scale = 0.0;
+
+    /** Current level = number of live data towers. */
+    unsigned
+    level() const
+    {
+        return static_cast<unsigned>(c0.towers());
+    }
+
+    /** Ciphertext footprint in machine words (2 polys x towers x N). */
+    std::size_t
+    footprintWords() const
+    {
+        return c0.footprintWords() + c1.footprintWords();
+    }
+};
+
+} // namespace cl
+
+#endif // CL_CKKS_CIPHERTEXT_H

@@ -1,0 +1,95 @@
+#include "context.h"
+
+#include <algorithm>
+
+#include "rns/primes.h"
+
+namespace cl {
+
+namespace {
+
+/**
+ * Generate the full modulus chain. Widths may coincide (e.g., the
+ * 28-bit hardware configuration), so primes are drawn from shared
+ * descending streams per width to guarantee distinctness.
+ */
+std::vector<u64>
+buildModuli(const CkksParams &p)
+{
+    std::map<unsigned, std::size_t> need;
+    need[p.firstModBits] += 1;
+    if (p.l > 1)
+        need[p.scaleBits] += p.l - 1;
+    need[p.specialBits] += p.alpha;
+
+    std::map<unsigned, std::vector<u64>> pool;
+    for (auto &[bits, count] : need)
+        pool[bits] = generateNttPrimes(bits, p.n(), count);
+
+    std::map<unsigned, std::size_t> used;
+    auto take = [&](unsigned bits) {
+        return pool[bits][used[bits]++];
+    };
+
+    std::vector<u64> moduli;
+    moduli.push_back(take(p.firstModBits));
+    for (unsigned i = 1; i < p.l; ++i)
+        moduli.push_back(take(p.scaleBits));
+    for (unsigned i = 0; i < p.alpha; ++i)
+        moduli.push_back(take(p.specialBits));
+    return moduli;
+}
+
+} // namespace
+
+CkksContext::CkksContext(const CkksParams &params) : params_(params)
+{
+    CL_ASSERT(params_.l >= 1, "need at least one data modulus");
+    CL_ASSERT(params_.alpha >= 1, "need at least one special modulus");
+    chain_ = std::make_unique<RnsChain>(params_.n(), buildModuli(params_));
+
+    pModQ_.resize(chain_->size());
+    for (std::size_t i = 0; i < chain_->size(); ++i) {
+        const u64 qi = chain_->modulus(i);
+        u64 prod = 1;
+        for (unsigned s = 0; s < params_.alpha; ++s)
+            prod = mulMod(prod, chain_->modulus(params_.l + s) % qi, qi);
+        pModQ_[i] = prod;
+    }
+}
+
+std::vector<unsigned>
+CkksContext::dataIdx(unsigned l_cur) const
+{
+    CL_ASSERT(l_cur >= 1 && l_cur <= params_.l, "bad level ", l_cur);
+    std::vector<unsigned> idx(l_cur);
+    for (unsigned i = 0; i < l_cur; ++i)
+        idx[i] = i;
+    return idx;
+}
+
+std::vector<unsigned>
+CkksContext::specialIdx() const
+{
+    std::vector<unsigned> idx(params_.alpha);
+    for (unsigned i = 0; i < params_.alpha; ++i)
+        idx[i] = params_.l + i;
+    return idx;
+}
+
+const BaseConverter &
+CkksContext::converter(const std::vector<unsigned> &src,
+                       const std::vector<unsigned> &dst) const
+{
+    auto key = std::make_pair(src, dst);
+    auto it = converters_.find(key);
+    if (it == converters_.end()) {
+        it = converters_
+                 .emplace(std::move(key),
+                          std::make_unique<BaseConverter>(*chain_, src, dst))
+                 .first;
+    }
+    return *it->second;
+}
+
+} // namespace cl

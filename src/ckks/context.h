@@ -1,0 +1,84 @@
+/**
+ * @file
+ * CkksContext: owns the RNS chain, encoder tables, base-converter
+ * caches, and the operation counters used to cross-check the paper's
+ * cost formulas (Table 1, Fig 4).
+ */
+
+#ifndef CL_CKKS_CONTEXT_H
+#define CL_CKKS_CONTEXT_H
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "ckks/params.h"
+#include "poly/rnspoly.h"
+
+namespace cl {
+
+/**
+ * Running counts of the scalar/vector operations performed by the
+ * functional library, mirroring Table 1's accounting: element-wise
+ * multiplies/adds (in units of residue polynomials) and NTTs.
+ */
+struct OpCounter
+{
+    std::uint64_t polyMults = 0; ///< Residue-poly element-wise multiplies.
+    std::uint64_t polyAdds = 0;  ///< Residue-poly element-wise adds.
+    std::uint64_t ntts = 0;      ///< Forward + inverse NTTs.
+    std::uint64_t automorphisms = 0;
+
+    void
+    reset()
+    {
+        *this = OpCounter{};
+    }
+};
+
+class CkksContext
+{
+  public:
+    explicit CkksContext(const CkksParams &params);
+
+    const CkksParams &params() const { return params_; }
+    const RnsChain &chain() const { return *chain_; }
+    std::size_t n() const { return params_.n(); }
+    std::size_t slots() const { return params_.slots(); }
+
+    /** Number of data moduli (max level L). */
+    unsigned l() const { return params_.l; }
+    /** Number of special moduli. */
+    unsigned alpha() const { return params_.alpha; }
+
+    /** Chain indices [0, l_cur) of the data basis at a level. */
+    std::vector<unsigned> dataIdx(unsigned l_cur) const;
+    /** Chain indices of the special basis P. */
+    std::vector<unsigned> specialIdx() const;
+
+    /** Product of the special moduli reduced mod chain modulus i. */
+    u64 pModQ(unsigned i) const { return pModQ_[i]; }
+
+    /**
+     * Cached base converter between two index sets (built lazily;
+     * keyswitching reuses a handful of conversions per level).
+     */
+    const BaseConverter &converter(const std::vector<unsigned> &src,
+                                   const std::vector<unsigned> &dst) const;
+
+    /** Mutable op counter (shared by evaluator and keyswitching). */
+    OpCounter &ops() const { return ops_; }
+
+  private:
+    CkksParams params_;
+    std::unique_ptr<RnsChain> chain_;
+    std::vector<u64> pModQ_;
+    mutable std::map<std::pair<std::vector<unsigned>, std::vector<unsigned>>,
+                     std::unique_ptr<BaseConverter>>
+        converters_;
+    mutable OpCounter ops_;
+};
+
+} // namespace cl
+
+#endif // CL_CKKS_CONTEXT_H

@@ -1,0 +1,91 @@
+#include "encryptor.h"
+
+namespace cl {
+
+namespace {
+
+RnsPoly
+sampleSmall(const CkksContext &ctx, const std::vector<unsigned> &idx,
+            FastRng &rng, bool ternary)
+{
+    const std::size_t n = ctx.n();
+    std::vector<int> coeff(n);
+    for (auto &c : coeff)
+        c = ternary ? rng.nextTernary() : rng.nextCbd();
+    RnsPoly p(ctx.chain(), idx, false);
+    for (std::size_t t = 0; t < p.towers(); ++t) {
+        const u64 q = p.modulus(t);
+        for (std::size_t i = 0; i < n; ++i)
+            p.residue(t)[i] = reduceSigned(coeff[i], q);
+    }
+    p.toNtt();
+    return p;
+}
+
+} // namespace
+
+Encryptor::Encryptor(const CkksContext &ctx, const PublicKey &pk,
+                     std::uint64_t seed)
+    : ctx_(ctx), pk_(pk), rng_(seed)
+{
+}
+
+Ciphertext
+Encryptor::encrypt(const RnsPoly &plain, double scale) const
+{
+    RnsPoly m = plain;
+    m.toNtt();
+    const std::vector<unsigned> &idx = m.modIdx();
+    // The public key lives at the top level; restrict it to the
+    // plaintext's basis (a prefix of the data moduli).
+    RnsPoly b = pk_.b.subset(idx);
+    RnsPoly a = pk_.a.subset(idx);
+
+    RnsPoly v = sampleSmall(ctx_, idx, rng_, true);
+    RnsPoly e0 = sampleSmall(ctx_, idx, rng_, false);
+    RnsPoly e1 = sampleSmall(ctx_, idx, rng_, false);
+
+    Ciphertext ct;
+    ct.c0 = b;
+    ct.c0 *= v;
+    ct.c0 += e0;
+    ct.c0 += m;
+    ct.c1 = a;
+    ct.c1 *= v;
+    ct.c1 += e1;
+    ct.scale = scale;
+    return ct;
+}
+
+Ciphertext
+Encryptor::encryptValues(const CkksEncoder &encoder,
+                         const std::vector<Complex> &values, double scale,
+                         unsigned level) const
+{
+    return encrypt(encoder.encode(values, scale, level), scale);
+}
+
+Decryptor::Decryptor(const CkksContext &ctx, const SecretKey &sk)
+    : ctx_(ctx), sk_(sk)
+{
+}
+
+RnsPoly
+Decryptor::decrypt(const Ciphertext &ct) const
+{
+    RnsPoly s = sk_.s.subset(ct.c0.modIdx());
+    RnsPoly m = ct.c1;
+    CL_ASSERT(m.isNtt(), "ciphertexts are kept in NTT form");
+    m *= s;
+    m += ct.c0;
+    return m;
+}
+
+std::vector<Complex>
+Decryptor::decryptValues(const CkksEncoder &encoder,
+                         const Ciphertext &ct) const
+{
+    return encoder.decode(decrypt(ct), ct.scale);
+}
+
+} // namespace cl

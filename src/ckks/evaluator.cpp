@@ -1,0 +1,391 @@
+#include "evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cl {
+
+Evaluator::Evaluator(const CkksContext &ctx) : ctx_(ctx) {}
+
+void
+Evaluator::checkSameShape(const Ciphertext &a, const Ciphertext &b) const
+{
+    CL_ASSERT(a.level() == b.level(), "level mismatch: ", a.level(), " vs ",
+              b.level());
+    const double rel = std::abs(a.scale - b.scale) / a.scale;
+    CL_ASSERT(rel < 1e-6, "scale mismatch: ", a.scale, " vs ", b.scale);
+}
+
+Ciphertext
+Evaluator::add(const Ciphertext &a, const Ciphertext &b) const
+{
+    checkSameShape(a, b);
+    Ciphertext r = a;
+    r.c0 += b.c0;
+    r.c1 += b.c1;
+    ctx_.ops().polyAdds += 2 * r.c0.towers();
+    return r;
+}
+
+Ciphertext
+Evaluator::sub(const Ciphertext &a, const Ciphertext &b) const
+{
+    checkSameShape(a, b);
+    Ciphertext r = a;
+    r.c0 -= b.c0;
+    r.c1 -= b.c1;
+    ctx_.ops().polyAdds += 2 * r.c0.towers();
+    return r;
+}
+
+Ciphertext
+Evaluator::addPlain(const Ciphertext &a, const RnsPoly &plain) const
+{
+    RnsPoly p = plain;
+    p.toNtt();
+    Ciphertext r = a;
+    if (p.towers() > r.c0.towers())
+        p.dropTowers(p.towers() - r.c0.towers());
+    r.c0 += p;
+    ctx_.ops().polyAdds += r.c0.towers();
+    return r;
+}
+
+Ciphertext
+Evaluator::subPlain(const Ciphertext &a, const RnsPoly &plain) const
+{
+    RnsPoly p = plain;
+    p.toNtt();
+    Ciphertext r = a;
+    if (p.towers() > r.c0.towers())
+        p.dropTowers(p.towers() - r.c0.towers());
+    r.c0 -= p;
+    ctx_.ops().polyAdds += r.c0.towers();
+    return r;
+}
+
+Ciphertext
+Evaluator::negate(const Ciphertext &a) const
+{
+    Ciphertext r = a;
+    r.c0.negate();
+    r.c1.negate();
+    return r;
+}
+
+Ciphertext
+Evaluator::mulPlain(const Ciphertext &a, const RnsPoly &plain,
+                    double plain_scale) const
+{
+    RnsPoly p = plain;
+    p.toNtt();
+    if (p.towers() > a.c0.towers())
+        p.dropTowers(p.towers() - a.c0.towers());
+    Ciphertext r = a;
+    r.c0 *= p;
+    r.c1 *= p;
+    r.scale = a.scale * plain_scale;
+    ctx_.ops().polyMults += 2 * r.c0.towers();
+    return r;
+}
+
+Ciphertext
+Evaluator::mulScalar(const Ciphertext &a, double scalar) const
+{
+    // Encode the scalar at the scale of the last live prime so that a
+    // subsequent rescale restores the input scale exactly.
+    const unsigned level = a.level();
+    const u64 q_last = a.c0.modulus(level - 1);
+    const double scale = static_cast<double>(q_last);
+    Ciphertext r = a;
+    const auto v = static_cast<long long>(std::nearbyint(scalar * scale));
+    for (std::size_t t = 0; t < r.c0.towers(); ++t) {
+        const u64 q = r.c0.modulus(t);
+        const u64 w = reduceSigned(v, q);
+        r.c0.mulScalarTower(t, w);
+        r.c1.mulScalarTower(t, w);
+    }
+    r.scale = a.scale * scale;
+    ctx_.ops().polyMults += 2 * r.c0.towers();
+    return r;
+}
+
+std::pair<RnsPoly, RnsPoly>
+Evaluator::keySwitch(const RnsPoly &d, const SwitchKey &ksk) const
+{
+    CL_ASSERT(d.isNtt(), "keyswitch input must be in NTT form");
+    const unsigned l = static_cast<unsigned>(d.towers());
+    const unsigned a = ksk.alphaKs;
+    CL_ASSERT(a >= 1, "uninitialized switch key");
+    OpCounter &ops = ctx_.ops();
+
+    std::vector<unsigned> special_idx;
+    for (unsigned i = 0; i < a; ++i)
+        special_idx.push_back(ctx_.l() + i);
+    std::vector<unsigned> ext_idx;
+    for (unsigned i = 0; i < l; ++i)
+        ext_idx.push_back(i);
+    for (unsigned i : special_idx)
+        ext_idx.push_back(i);
+
+    // Listing 1, line 2: the digits are lifted from the coefficient
+    // domain.
+    RnsPoly d_coeff = d;
+    d_coeff.toCoeff();
+    ops.ntts += l;
+
+    RnsPoly acc0(ctx_.chain(), ext_idx, true);
+    RnsPoly acc1(ctx_.chain(), ext_idx, true);
+
+    const unsigned dnum = static_cast<unsigned>(ceilDiv(l, a));
+    CL_ASSERT(dnum <= ksk.digits(), "hint has ", ksk.digits(),
+              " digits, need ", dnum);
+
+    for (unsigned j = 0; j < dnum; ++j) {
+        std::vector<unsigned> digit_idx;
+        for (unsigned i = j * a; i < std::min(l, (j + 1) * a); ++i)
+            digit_idx.push_back(i);
+        std::vector<unsigned> comp_idx;
+        for (unsigned i : ext_idx) {
+            if (i < j * a || i >= (j + 1) * a)
+                comp_idx.push_back(i);
+        }
+
+        // Listing 1, lines 3-4: changeRNSBase to the complement, then
+        // NTT the raised residues.
+        const BaseConverter &conv = ctx_.converter(digit_idx, comp_idx);
+        std::vector<std::vector<u64>> digit_res;
+        for (unsigned i : digit_idx)
+            digit_res.push_back(d_coeff.residue(i));
+        std::vector<std::vector<u64>> raised;
+        conv.convert(digit_res, raised);
+        ops.polyMults += digit_idx.size() +
+                         digit_idx.size() * comp_idx.size();
+        ops.polyAdds += digit_idx.size() * comp_idx.size();
+
+        RnsPoly u(ctx_.chain(), ext_idx, true);
+        for (std::size_t t = 0; t < ext_idx.size(); ++t) {
+            const unsigned ci = ext_idx[t];
+            bool in_digit = std::find(digit_idx.begin(), digit_idx.end(),
+                                      ci) != digit_idx.end();
+            if (in_digit) {
+                // The digit's own residues stay as in the (NTT-form)
+                // input — Listing 1 reuses p[0:L] directly.
+                u.residue(t) = d.residue(ci);
+            } else {
+                std::size_t k = 0;
+                while (comp_idx[k] != ci)
+                    ++k;
+                u.residue(t) = raised[k];
+                ctx_.chain().ntt(ci).forward(u.residue(t).data());
+                ops.ntts += 1;
+            }
+        }
+
+        // Listing 1, line 6: MAC with the hint pair.
+        RnsPoly kb = ksk.b[j].subset(ext_idx);
+        RnsPoly ka = ksk.a[j].subset(ext_idx);
+        kb *= u;
+        ka *= u;
+        acc0 += kb;
+        acc1 += ka;
+        ops.polyMults += 2 * ext_idx.size();
+        ops.polyAdds += 2 * ext_idx.size();
+    }
+
+    // Listing 1, lines 7-10 (mod-down): divide by P.
+    const BaseConverter &down = ctx_.converter(special_idx, ctx_.dataIdx(l));
+    auto mod_down = [&](RnsPoly &acc) {
+        RnsPoly special = acc.subset(special_idx);
+        special.toCoeff();
+        ops.ntts += a;
+        std::vector<std::vector<u64>> conv_out;
+        down.convert(special.data(), conv_out);
+        ops.polyMults += a + a * l;
+        ops.polyAdds += a * l;
+
+        RnsPoly out(ctx_.chain(), ctx_.dataIdx(l), true);
+        for (unsigned t = 0; t < l; ++t) {
+            const u64 q = ctx_.chain().modulus(t);
+            ctx_.chain().ntt(t).forward(conv_out[t].data());
+            ops.ntts += 1;
+            // P^{-1} for the special primes this hint uses.
+            u64 p_mod_q = 1;
+            for (unsigned i : special_idx)
+                p_mod_q = mulMod(p_mod_q, ctx_.chain().modulus(i) % q, q);
+            const ShoupMul p_inv(invMod(p_mod_q, q), q);
+            const u64 *hi = acc.residue(t).data();
+            const u64 *lo = conv_out[t].data();
+            u64 *dst = out.residue(t).data();
+            for (std::size_t i = 0; i < ctx_.n(); ++i)
+                dst[i] = p_inv.mul(subMod(hi[i], lo[i], q), q);
+            ops.polyMults += 1;
+            ops.polyAdds += 1;
+        }
+        acc = std::move(out);
+    };
+    mod_down(acc0);
+    mod_down(acc1);
+
+    return {std::move(acc0), std::move(acc1)};
+}
+
+Ciphertext
+Evaluator::multiply(const Ciphertext &a, const Ciphertext &b,
+                    const SwitchKey &relin) const
+{
+    CL_ASSERT(a.level() == b.level(), "multiply level mismatch");
+
+    RnsPoly t0 = a.c0;
+    t0 *= b.c0;
+    RnsPoly t2 = a.c1;
+    t2 *= b.c1;
+    RnsPoly t1a = a.c0;
+    t1a *= b.c1;
+    RnsPoly t1b = a.c1;
+    t1b *= b.c0;
+    t1a += t1b;
+    ctx_.ops().polyMults += 4 * a.level();
+    ctx_.ops().polyAdds += a.level();
+
+    auto [k0, k1] = keySwitch(t2, relin);
+    Ciphertext r;
+    r.c0 = std::move(t0);
+    r.c0 += k0;
+    r.c1 = std::move(t1a);
+    r.c1 += k1;
+    ctx_.ops().polyAdds += 2 * a.level();
+    r.scale = a.scale * b.scale;
+    return r;
+}
+
+Ciphertext
+Evaluator::square(const Ciphertext &a, const SwitchKey &relin) const
+{
+    RnsPoly t0 = a.c0;
+    t0 *= a.c0;
+    RnsPoly t2 = a.c1;
+    t2 *= a.c1;
+    RnsPoly t1 = a.c0;
+    t1 *= a.c1;
+    t1 += t1; // 2*c0*c1
+    ctx_.ops().polyMults += 3 * a.level();
+    ctx_.ops().polyAdds += a.level();
+
+    auto [k0, k1] = keySwitch(t2, relin);
+    Ciphertext r;
+    r.c0 = std::move(t0);
+    r.c0 += k0;
+    r.c1 = std::move(t1);
+    r.c1 += k1;
+    ctx_.ops().polyAdds += 2 * a.level();
+    r.scale = a.scale * a.scale;
+    return r;
+}
+
+void
+Evaluator::rescale(Ciphertext &ct) const
+{
+    const u64 q_last = ct.c0.modulus(ct.level() - 1);
+    ct.c0.rescaleLastTower();
+    ct.c1.rescaleLastTower();
+    ct.scale /= static_cast<double>(q_last);
+    ctx_.ops().ntts += 4 * ct.level(); // domain round trips
+    ctx_.ops().polyMults += 2 * ct.level();
+    ctx_.ops().polyAdds += 2 * ct.level();
+}
+
+void
+Evaluator::levelDrop(Ciphertext &ct, unsigned target_level) const
+{
+    CL_ASSERT(target_level >= 1 && target_level <= ct.level(),
+              "bad target level ", target_level);
+    const std::size_t drop = ct.level() - target_level;
+    if (drop) {
+        ct.c0.dropTowers(drop);
+        ct.c1.dropTowers(drop);
+    }
+}
+
+std::size_t
+Evaluator::galoisFromSteps(int steps) const
+{
+    const std::size_t m = 2 * ctx_.n();
+    const std::size_t slots = ctx_.slots();
+    long r = steps % static_cast<long>(slots);
+    if (r < 0)
+        r += static_cast<long>(slots);
+    std::size_t g = 1;
+    for (long i = 0; i < r; ++i)
+        g = (g * 5) % m;
+    return g;
+}
+
+Ciphertext
+Evaluator::rotateByGalois(const Ciphertext &a, std::size_t galois,
+                          const SwitchKey &key) const
+{
+    RnsPoly c0_rot = a.c0.automorphism(galois);
+    RnsPoly c1_rot = a.c1.automorphism(galois);
+    ctx_.ops().automorphisms += 2 * a.level();
+
+    auto [k0, k1] = keySwitch(c1_rot, key);
+    Ciphertext r;
+    r.c0 = std::move(c0_rot);
+    r.c0 += k0;
+    r.c1 = std::move(k1);
+    r.scale = a.scale;
+    ctx_.ops().polyAdds += a.level();
+    return r;
+}
+
+Ciphertext
+Evaluator::rotate(const Ciphertext &a, int steps, const GaloisKeys &gk) const
+{
+    if (steps % static_cast<long>(ctx_.slots()) == 0)
+        return a;
+    const std::size_t g = galoisFromSteps(steps);
+    return rotateByGalois(a, g, gk.at(g));
+}
+
+Ciphertext
+Evaluator::conjugate(const Ciphertext &a, const GaloisKeys &gk) const
+{
+    const std::size_t g = 2 * ctx_.n() - 1;
+    return rotateByGalois(a, g, gk.at(g));
+}
+
+Ciphertext
+Evaluator::modRaise(const Ciphertext &ct, unsigned target_level) const
+{
+    CL_ASSERT(target_level > ct.level(), "modRaise must increase level");
+    const std::vector<unsigned> src_idx = ct.c0.modIdx();
+    std::vector<unsigned> add_idx;
+    for (unsigned i = static_cast<unsigned>(src_idx.size());
+         i < target_level; ++i)
+        add_idx.push_back(i);
+
+    const BaseConverter &conv = ctx_.converter(src_idx, add_idx);
+    auto raise = [&](const RnsPoly &p) {
+        RnsPoly coeff = p;
+        coeff.toCoeff();
+        std::vector<std::vector<u64>> out;
+        conv.convert(coeff.data(), out);
+        RnsPoly r(ctx_.chain(), ctx_.dataIdx(target_level), false);
+        for (std::size_t t = 0; t < src_idx.size(); ++t)
+            r.residue(t) = coeff.residue(t);
+        for (std::size_t t = 0; t < add_idx.size(); ++t)
+            r.residue(src_idx.size() + t) = out[t];
+        r.toNtt();
+        return r;
+    };
+
+    Ciphertext r;
+    r.c0 = raise(ct.c0);
+    r.c1 = raise(ct.c1);
+    r.scale = ct.scale;
+    ctx_.ops().ntts += 2 * (src_idx.size() + target_level);
+    return r;
+}
+
+} // namespace cl

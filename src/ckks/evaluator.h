@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Homomorphic evaluator for CKKS: add, multiply (+relinearize),
+ * rescale, rotate, conjugate — all built on keyswitching (Sec 2.2),
+ * plus the modulus-raise primitive bootstrapping starts from.
+ *
+ * The keyswitching core implements Listing 1 generalized to t digits
+ * (Sec 3.1): the hint's digit size selects the variant, from the
+ * standard per-prime algorithm (alphaKs = 1, what F1 targets) to the
+ * fully boosted 1-digit algorithm (alphaKs = L).
+ */
+
+#ifndef CL_CKKS_EVALUATOR_H
+#define CL_CKKS_EVALUATOR_H
+
+#include "ckks/ciphertext.h"
+#include "ckks/keys.h"
+
+namespace cl {
+
+class Evaluator
+{
+  public:
+    explicit Evaluator(const CkksContext &ctx);
+
+    // --- Linear operations ---
+    Ciphertext add(const Ciphertext &a, const Ciphertext &b) const;
+    Ciphertext sub(const Ciphertext &a, const Ciphertext &b) const;
+    Ciphertext addPlain(const Ciphertext &a, const RnsPoly &plain) const;
+    Ciphertext subPlain(const Ciphertext &a, const RnsPoly &plain) const;
+    Ciphertext negate(const Ciphertext &a) const;
+
+    /** Multiply by a plaintext polynomial (NTT form, matching basis
+     *  prefix); scales multiply. */
+    Ciphertext mulPlain(const Ciphertext &a, const RnsPoly &plain,
+                        double plain_scale) const;
+
+    /** Multiply by a real scalar encoded at the next prime's scale. */
+    Ciphertext mulScalar(const Ciphertext &a, double scalar) const;
+
+    // --- Multiplicative operations ---
+    /** Full homomorphic multiply: tensor + relinearization. The
+     *  result has scale a.scale * b.scale; rescale separately. */
+    Ciphertext multiply(const Ciphertext &a, const Ciphertext &b,
+                        const SwitchKey &relin) const;
+
+    /** Square (saves one tensor product). */
+    Ciphertext square(const Ciphertext &a, const SwitchKey &relin) const;
+
+    /** Drop the last tower, dividing the scale by its modulus. */
+    void rescale(Ciphertext &ct) const;
+
+    /** Align @p ct to a lower level by dropping towers (no rescale). */
+    void levelDrop(Ciphertext &ct, unsigned target_level) const;
+
+    // --- Rotations ---
+    Ciphertext rotate(const Ciphertext &a, int steps,
+                      const GaloisKeys &gk) const;
+    Ciphertext conjugate(const Ciphertext &a, const GaloisKeys &gk) const;
+
+    /** Rotation by precomputed automorphism exponent. */
+    Ciphertext rotateByGalois(const Ciphertext &a, std::size_t galois,
+                              const SwitchKey &key) const;
+
+    // --- Keyswitching (exposed for tests and cost accounting) ---
+    /**
+     * Switch @p d (over the data basis at its level, NTT form) from
+     * the hint's source key to the canonical secret: returns (k0, k1)
+     * with k0 + k1·s ≈ d·s_src.
+     */
+    std::pair<RnsPoly, RnsPoly> keySwitch(const RnsPoly &d,
+                                          const SwitchKey &ksk) const;
+
+    // --- Bootstrapping primitive ---
+    /**
+     * Raise an exhausted ciphertext (level >= 1) to @p target_level.
+     * The decrypted value becomes m + e + k·q0 for a small integer
+     * polynomial k; EvalMod removes the k·q0 term (Sec 8, packed
+     * bootstrapping).
+     */
+    Ciphertext modRaise(const Ciphertext &ct, unsigned target_level) const;
+
+    /** Galois exponent for a slot rotation (matches KeyGenerator). */
+    std::size_t galoisFromSteps(int steps) const;
+
+  private:
+    void checkSameShape(const Ciphertext &a, const Ciphertext &b) const;
+
+    const CkksContext &ctx_;
+};
+
+} // namespace cl
+
+#endif // CL_CKKS_EVALUATOR_H

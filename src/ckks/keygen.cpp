@@ -1,0 +1,276 @@
+#include "keys.h"
+
+#include <algorithm>
+
+#include "util/biguint.h"
+#include "util/prng.h"
+
+namespace cl {
+
+namespace {
+
+/** Digit ranges partitioning the L data moduli into chunks of alpha. */
+std::vector<std::vector<unsigned>>
+digitRanges(unsigned l, unsigned alpha)
+{
+    std::vector<std::vector<unsigned>> out;
+    for (unsigned start = 0; start < l; start += alpha) {
+        std::vector<unsigned> d;
+        for (unsigned i = start; i < std::min(l, start + alpha); ++i)
+            d.push_back(i);
+        out.push_back(std::move(d));
+    }
+    return out;
+}
+
+} // namespace
+
+KeyGenerator::KeyGenerator(const CkksContext &ctx)
+    : ctx_(ctx), noiseRng_(ctx.params().seed * 0x9e3779b97f4a7c15ULL + 1),
+      domainCounter_(1)
+{
+    // Ternary secret over the full chain; optionally sparse
+    // (bootstrapping bounds the mod-raise overflow by ||s||_1).
+    const std::size_t n = ctx_.n();
+    std::vector<int> s_coeff(n, 0);
+    const unsigned h = ctx_.params().secretHamming;
+    if (h == 0) {
+        for (auto &c : s_coeff)
+            c = noiseRng_.nextTernary();
+    } else {
+        CL_ASSERT(h < n, "Hamming weight too large");
+        unsigned placed = 0;
+        while (placed < h) {
+            const std::size_t pos = noiseRng_.nextBelow(n);
+            if (s_coeff[pos] == 0) {
+                s_coeff[pos] = noiseRng_.nextBelow(2) ? 1 : -1;
+                ++placed;
+            }
+        }
+    }
+
+    std::vector<unsigned> full_idx;
+    for (unsigned i = 0; i < ctx_.chain().size(); ++i)
+        full_idx.push_back(i);
+    sk_.s = RnsPoly(ctx_.chain(), full_idx, false);
+    for (std::size_t t = 0; t < sk_.s.towers(); ++t) {
+        const u64 q = sk_.s.modulus(t);
+        for (std::size_t i = 0; i < n; ++i)
+            sk_.s.residue(t)[i] = reduceSigned(s_coeff[i], q);
+    }
+    sk_.s.toNtt();
+}
+
+RnsPoly
+KeyGenerator::sampleError(const std::vector<unsigned> &idx)
+{
+    const std::size_t n = ctx_.n();
+    std::vector<int> e_coeff(n);
+    for (auto &c : e_coeff)
+        c = noiseRng_.nextCbd();
+    RnsPoly e(ctx_.chain(), idx, false);
+    for (std::size_t t = 0; t < e.towers(); ++t) {
+        const u64 q = e.modulus(t);
+        for (std::size_t i = 0; i < n; ++i)
+            e.residue(t)[i] = reduceSigned(e_coeff[i], q);
+    }
+    e.toNtt();
+    return e;
+}
+
+RnsPoly
+KeyGenerator::sampleUniformSeeded(std::uint64_t seed, std::uint64_t domain,
+                                  const std::vector<unsigned> &idx)
+{
+    // Expanded directly in the NTT domain (a uniform polynomial is
+    // uniform in either domain), matching KSHGen's on-the-fly
+    // generation of NTT-resident hint halves.
+    RnsPoly a(ctx_.chain(), idx, true);
+    for (std::size_t t = 0; t < a.towers(); ++t) {
+        const u64 q = a.modulus(t);
+        RejectionSampler sampler(seed, domain * 0x10000 + idx[t], q);
+        sampler.fill(a.residue(t).data(), ctx_.n());
+    }
+    return a;
+}
+
+PublicKey
+KeyGenerator::genPublicKey()
+{
+    const auto idx = ctx_.dataIdx(ctx_.l());
+    PublicKey pk;
+    pk.a = sampleUniformSeeded(ctx_.params().seed, domainCounter_++, idx);
+    RnsPoly s_data = sk_.s;
+    s_data.dropTowers(ctx_.alpha());
+    pk.b = sampleError(idx);
+    RnsPoly as = pk.a;
+    as *= s_data;
+    pk.b -= as;
+    return pk;
+}
+
+SwitchKey
+KeyGenerator::genSwitchKey(const RnsPoly &s_src, std::uint64_t domain,
+                           unsigned alpha_ks)
+{
+    CL_ASSERT(s_src.isNtt() && s_src.towers() == ctx_.chain().size(),
+              "source key must span the full chain in NTT form");
+    const unsigned l = ctx_.l();
+    const unsigned alpha = alpha_ks == 0 ? ctx_.alpha() : alpha_ks;
+    CL_ASSERT(alpha <= ctx_.alpha(), "digit size ", alpha,
+              " exceeds available special moduli ", ctx_.alpha());
+    const auto digits = digitRanges(l, alpha);
+
+    // Extended basis: all data moduli plus the first alpha special
+    // moduli (a smaller digit size needs a smaller raising basis).
+    std::vector<unsigned> ext_idx;
+    for (unsigned i = 0; i < l; ++i)
+        ext_idx.push_back(i);
+    for (unsigned i = 0; i < alpha; ++i)
+        ext_idx.push_back(ctx_.l() + i);
+
+    RnsPoly s_ext = sk_.s.subset(ext_idx);
+    RnsPoly s_src_ext = s_src.subset(ext_idx);
+
+    // P = product of the special moduli used by this key (as
+    // residues; the big product is only needed mod each modulus).
+    std::vector<u64> p_primes;
+    for (unsigned i = 0; i < alpha; ++i)
+        p_primes.push_back(ctx_.chain().modulus(ctx_.l() + i));
+
+    SwitchKey ksk;
+    ksk.alphaKs = alpha;
+    ksk.seed = ctx_.params().seed;
+    ksk.domain = domain;
+
+    for (std::size_t j = 0; j < digits.size(); ++j) {
+        const auto &dj = digits[j];
+
+        // v_j = [(Q/Q_j)^{-1} mod Q_j] as an exact integer, built by
+        // CRT interpolation over the digit's primes.
+        std::vector<u64> qj_primes;
+        for (unsigned i : dj)
+            qj_primes.push_back(ctx_.chain().modulus(i));
+        const BigUint qj = BigUint::product(qj_primes);
+
+        BigUint vj(0);
+        for (unsigned i : dj) {
+            const u64 qi = ctx_.chain().modulus(i);
+            // (Q/Q_j) mod q_i: product of data primes outside the digit.
+            u64 qhat_mod_qi = 1;
+            for (unsigned m = 0; m < l; ++m) {
+                if (std::find(dj.begin(), dj.end(), m) != dj.end())
+                    continue;
+                qhat_mod_qi =
+                    mulMod(qhat_mod_qi, ctx_.chain().modulus(m) % qi, qi);
+            }
+            // (Q_j/q_i) mod q_i.
+            u64 qj_hat_mod_qi = 1;
+            for (unsigned m : dj) {
+                if (m == i)
+                    continue;
+                qj_hat_mod_qi =
+                    mulMod(qj_hat_mod_qi, ctx_.chain().modulus(m) % qi, qi);
+            }
+            const u64 ci = mulMod(invMod(qhat_mod_qi, qi),
+                                  invMod(qj_hat_mod_qi, qi), qi);
+            // vj += ci * (Q_j / q_i)
+            std::vector<u64> others;
+            for (unsigned m : dj) {
+                if (m != i)
+                    others.push_back(ctx_.chain().modulus(m));
+            }
+            BigUint term = BigUint::product(others);
+            term.mulU64(ci);
+            vj += term;
+        }
+        while (vj >= qj)
+            vj -= qj;
+
+        // W_j mod r = P * (Q/Q_j) * v_j mod r for every chain modulus.
+        RnsPoly a_j = sampleUniformSeeded(
+            ksk.seed, (domain << 8) + j, ext_idx);
+        RnsPoly b_j = sampleError(ext_idx);
+
+        RnsPoly as = a_j;
+        as *= s_ext;
+        b_j -= as;
+
+        for (std::size_t t = 0; t < ext_idx.size(); ++t) {
+            const u64 r = ctx_.chain().modulus(ext_idx[t]);
+            u64 w = 1;
+            for (u64 p : p_primes)
+                w = mulMod(w, p % r, r);
+            for (unsigned m = 0; m < l; ++m) {
+                if (std::find(dj.begin(), dj.end(), m) != dj.end())
+                    continue;
+                w = mulMod(w, ctx_.chain().modulus(m) % r, r);
+            }
+            w = mulMod(w, vj.modU64(r), r);
+            // b_j[t] += w * s_src[t]
+            const u64 *src = s_src_ext.residue(t).data();
+            u64 *dst = b_j.residue(t).data();
+            const ShoupMul wm(w, r);
+            for (std::size_t i = 0; i < ctx_.n(); ++i)
+                dst[i] = addMod(dst[i], wm.mul(src[i], r), r);
+        }
+
+        ksk.a.push_back(std::move(a_j));
+        ksk.b.push_back(std::move(b_j));
+    }
+    return ksk;
+}
+
+SwitchKey
+KeyGenerator::genRelinKey(unsigned alpha_ks)
+{
+    RnsPoly s2 = sk_.s;
+    s2 *= sk_.s;
+    return genSwitchKey(s2, domainCounter_++, alpha_ks);
+}
+
+std::size_t
+KeyGenerator::galoisFromSteps(int steps) const
+{
+    const std::size_t m = 2 * ctx_.n();
+    const std::size_t slots = ctx_.slots();
+    long r = steps % static_cast<long>(slots);
+    if (r < 0)
+        r += static_cast<long>(slots);
+    std::size_t g = 1;
+    for (long i = 0; i < r; ++i)
+        g = (g * 5) % m;
+    return g;
+}
+
+SwitchKey
+KeyGenerator::genRotationKey(int steps, unsigned alpha_ks)
+{
+    const std::size_t g = galoisFromSteps(steps);
+    RnsPoly s_rot = sk_.s.automorphism(g);
+    return genSwitchKey(s_rot, domainCounter_++, alpha_ks);
+}
+
+SwitchKey
+KeyGenerator::genConjugationKey(unsigned alpha_ks)
+{
+    const std::size_t g = 2 * ctx_.n() - 1;
+    RnsPoly s_conj = sk_.s.automorphism(g);
+    return genSwitchKey(s_conj, domainCounter_++, alpha_ks);
+}
+
+GaloisKeys
+KeyGenerator::genRotationKeys(const std::vector<int> &steps, bool conjugate)
+{
+    GaloisKeys gk;
+    for (int s : steps) {
+        const std::size_t g = galoisFromSteps(s);
+        if (!gk.has(g))
+            gk.keys.emplace(g, genRotationKey(s));
+    }
+    if (conjugate)
+        gk.keys.emplace(2 * ctx_.n() - 1, genConjugationKey());
+    return gk;
+}
+
+} // namespace cl

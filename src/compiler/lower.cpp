@@ -1,0 +1,557 @@
+#include "lower.h"
+
+#include <map>
+
+namespace cl {
+
+namespace {
+
+/** Digit sizes partitioning l towers into t digits. */
+std::vector<unsigned>
+digitSizes(unsigned l, unsigned t)
+{
+    const unsigned a = static_cast<unsigned>(ceilDiv(l, t));
+    std::vector<unsigned> sizes;
+    unsigned left = l;
+    while (left > 0) {
+        const unsigned d = std::min(a, left);
+        sizes.push_back(d);
+        left -= d;
+    }
+    return sizes;
+}
+
+} // namespace
+
+Program
+Lowering::lower(const HomProgram &hp)
+{
+    Program prog;
+    prog.name = hp.name;
+    prog.n = hp.n();
+    const std::size_t n = hp.n();
+    const std::uint64_t vc = cfg_.vectorCycles(n);
+    const unsigned logn = log2Exact(n);
+    const std::uint64_t bflyPerVec =
+        static_cast<std::uint64_t>(n) * logn / 2;
+
+    // Map from hom-op id to the value holding its result ciphertext.
+    std::vector<std::uint32_t> valueOf(hp.ops.size(),
+                                       std::uint32_t(-1));
+    // Reusable operands.
+    std::map<std::string, std::uint32_t> kshCache;
+    std::map<std::string, std::uint32_t> plainCache;
+
+    // Hints are generated once per key at the highest level the key
+    // is used at; lower-level keyswitches read a slice.
+    std::map<std::string, unsigned> kshMaxLevel;
+    for (const HomOp &op : hp.ops) {
+        if (!op.keyId.empty()) {
+            auto [it, fresh] = kshMaxLevel.emplace(op.keyId, op.level);
+            if (!fresh)
+                it->second = std::max(it->second, op.level);
+        }
+    }
+
+    auto ct_words = [&](unsigned l) {
+        return static_cast<std::uint64_t>(2) * l * n;
+    };
+
+    auto clamp_ports = [&](unsigned p) {
+        return std::min(p, cfg_.rfPorts);
+    };
+
+    // Units of a class an instruction can actually use (bounded by
+    // the work available).
+    auto par = [&](unsigned units, std::uint64_t vecs) -> unsigned {
+        return std::max<unsigned>(
+            1, static_cast<unsigned>(
+                   std::min<std::uint64_t>(units, vecs)));
+    };
+
+    auto get_ksh = [&](const std::string &key_id, unsigned l,
+                       unsigned t) -> std::uint32_t {
+        // One hint per key identity, generated at the top of the
+        // chain; lower levels read a slice of it. This is what lets
+        // the compiler's ordering reuse hints on chip (Sec 6).
+        auto it = kshCache.find(key_id);
+        if (it != kshCache.end())
+            return it->second;
+        const unsigned lk = kshMaxLevel.at(key_id);
+        const unsigned tk = std::min(t, lk);
+        const unsigned a = static_cast<unsigned>(ceilDiv(lk, tk));
+        const unsigned ext = lk + a;
+        const unsigned dnum =
+            static_cast<unsigned>(digitSizes(lk, tk).size());
+        // Full hint: dnum pairs over ext moduli. With KSHGen, only
+        // the b-halves are stored/loaded (Sec 5.2).
+        std::uint64_t words =
+            static_cast<std::uint64_t>(2) * dnum * ext * n;
+        if (cfg_.hasKshGen)
+            words /= 2;
+        const std::uint32_t vid =
+            prog.addValue(ValueKind::KeySwitchHint, words, key_id);
+        prog.values[vid].seededHalf = cfg_.hasKshGen;
+        kshCache.emplace(key_id, vid);
+        return vid;
+    };
+
+    auto get_plain = [&](const std::string &plain_id,
+                         unsigned l) -> std::uint32_t {
+        const std::string key = plain_id + "@l" + std::to_string(l);
+        auto it = plainCache.find(key);
+        if (it != plainCache.end())
+            return it->second;
+        const std::uint32_t vid = prog.addValue(
+            ValueKind::Plaintext, static_cast<std::uint64_t>(l) * n, key);
+        plainCache.emplace(key, vid);
+        return vid;
+    };
+
+    // Parallelism the register file allows for unchained 3-port MACs.
+    const unsigned sw_par = std::max(
+        1u, std::min({cfg_.mulUnits, cfg_.addUnits, cfg_.rfPorts / 3u}));
+
+    /**
+     * Emit the keyswitch of a single polynomial (l towers) under the
+     * given hint, fused with a final combine-add into the output
+     * value. `extra_read` is the ciphertext part added in at the end
+     * (tensor product or rotated c0). Returns nothing; the result is
+     * written to `out_vid`.
+     */
+    auto emit_keyswitch = [&](std::uint32_t in_vid, unsigned l, unsigned t,
+                              const std::string &key_id,
+                              std::uint32_t extra_read,
+                              std::uint32_t out_vid,
+                              const std::string &tag) {
+        ++stats_.keyswitches;
+        const auto sizes = digitSizes(l, t);
+        const unsigned dnum = static_cast<unsigned>(sizes.size());
+        const unsigned a = static_cast<unsigned>(ceilDiv(l, t));
+        const unsigned ext = l + a;
+        const std::uint32_t ksh = get_ksh(key_id, l, t);
+
+        // --- Mod-up: INTT l, change base per digit, NTT the raised
+        //     residues (Listing 1, lines 2-4). ---
+        std::uint64_t crb_macs = 0;
+        for (unsigned dj : sizes) {
+            // Single-prime digits lift by broadcast (no multiplies).
+            if (dj > 1)
+                crb_macs += static_cast<std::uint64_t>(dj) * (ext - dj);
+        }
+        const std::uint64_t ntt_mu =
+            static_cast<std::uint64_t>(dnum) * ext; // INTT l + NTT rest
+        stats_.nttVectors += ntt_mu;
+        stats_.crbMacVectors += crb_macs;
+
+        const std::uint32_t raised = prog.addValue(
+            ValueKind::Intermediate,
+            static_cast<std::uint64_t>(dnum) * ext * n, tag + ".raised");
+
+        if (cfg_.hasCrb && cfg_.hasChaining) {
+            PolyInst mu;
+            mu.mnemonic = tag + ".ksw.modup";
+            mu.n = n;
+            const unsigned nu = par(cfg_.nttUnits, ntt_mu);
+            mu.fus = {{FuType::Ntt, nu, ntt_mu * bflyPerVec},
+                      {FuType::Crb, 1, crb_macs * n}};
+            mu.reads = {in_vid};
+            mu.writes = {raised};
+            mu.duration =
+                std::max(ceilDiv(ntt_mu, nu) * vc,
+                         std::max<std::uint64_t>(l, dnum * ext - l) * vc);
+            mu.networkWords = ntt_mu * n;
+            mu.rfPorts = clamp_ports(2);
+            mu.rfWords = (l + static_cast<std::uint64_t>(dnum) * ext) * n;
+            prog.addInst(std::move(mu));
+        } else {
+            // Software change-RNS-base: the MACs flow through the
+            // register file on the multiply/add units, throttled by
+            // ports — the bottleneck the CRB removes (Sec 3, Sec 5.1).
+            PolyInst intt;
+            intt.mnemonic = tag + ".ksw.modup.intt";
+            intt.n = n;
+            const unsigned niu = par(cfg_.nttUnits, l);
+            intt.fus = {{FuType::Ntt, niu,
+                         static_cast<std::uint64_t>(l) * bflyPerVec}};
+            intt.reads = {in_vid};
+            intt.writes = {raised}; // staged in place
+            intt.duration = ceilDiv(l, niu) * vc;
+            intt.networkWords = static_cast<std::uint64_t>(l) * n;
+            intt.rfPorts = clamp_ports(2);
+            intt.rfWords = static_cast<std::uint64_t>(2) * l * n;
+            prog.addInst(std::move(intt));
+
+            if (crb_macs > 0) {
+                // Standard keyswitching (single-prime digits) lifts
+                // by broadcast and skips this stage entirely.
+                PolyInst mac;
+                mac.mnemonic = tag + ".ksw.modup.macs";
+                mac.n = n;
+                mac.fus = {{FuType::Multiply, sw_par, crb_macs * n},
+                           {FuType::Add, sw_par, crb_macs * n}};
+                mac.reads = {raised};
+                mac.writes = {raised};
+                mac.duration = ceilDiv(crb_macs, sw_par) * vc;
+                mac.rfPorts = clamp_ports(3 * sw_par);
+                mac.rfWords = 3 * crb_macs * n;
+                prog.addInst(std::move(mac));
+            }
+
+            PolyInst ntt;
+            ntt.mnemonic = tag + ".ksw.modup.ntt";
+            ntt.n = n;
+            const std::uint64_t ntt_out = ntt_mu - l;
+            const unsigned nou = par(cfg_.nttUnits, ntt_out);
+            ntt.fus = {{FuType::Ntt, nou, ntt_out * bflyPerVec}};
+            ntt.reads = {raised};
+            ntt.writes = {raised};
+            ntt.duration = ceilDiv(ntt_out, nou) * vc;
+            ntt.networkWords = ntt_out * n;
+            ntt.rfPorts = clamp_ports(2);
+            ntt.rfWords = 2 * ntt_out * n;
+            prog.addInst(std::move(ntt));
+        }
+
+        // --- Hint MAC: raised x (b_j, a_j), accumulating into two
+        //     ext-tower polynomials (Listing 1, line 6; Fig 8). ---
+        const std::uint64_t mac_vecs =
+            static_cast<std::uint64_t>(2) * dnum * ext;
+        stats_.mulVectors += mac_vecs;
+        stats_.addVectors += mac_vecs;
+
+        const std::uint32_t acc = prog.addValue(
+            ValueKind::Intermediate,
+            static_cast<std::uint64_t>(2) * ext * n, tag + ".acc");
+
+        {
+            PolyInst mac;
+            mac.mnemonic = tag + ".ksw.mac";
+            mac.n = n;
+            const bool chained = cfg_.hasChaining;
+            const unsigned par =
+                chained ? 2u
+                        : std::max(1u, std::min(cfg_.mulUnits,
+                                                cfg_.rfPorts / 3u));
+            mac.fus = {{FuType::Multiply, std::min(par, cfg_.mulUnits),
+                        mac_vecs * n},
+                       {FuType::Add, std::min(par, cfg_.addUnits),
+                        mac_vecs * n}};
+            if (cfg_.hasKshGen) {
+                mac.fus.push_back({FuType::KshGen, 1,
+                                   static_cast<std::uint64_t>(dnum) * ext *
+                                       n});
+            }
+            mac.reads = {raised, ksh};
+            mac.writes = {acc};
+            mac.duration = ceilDiv(mac_vecs, chained ? 2 : par) * vc;
+            mac.rfPorts = clamp_ports(chained ? 4 : 3 * par);
+            mac.rfWords =
+                (mac_vecs + (cfg_.hasKshGen ? mac_vecs / 2 : mac_vecs)) * n;
+            prog.addInst(std::move(mac));
+        }
+
+        // --- Mod-down + combine (Listing 1, lines 7-10). ---
+        const std::uint64_t ntt_md = static_cast<std::uint64_t>(2) *
+                                     (a + l);
+        const std::uint64_t md_macs =
+            static_cast<std::uint64_t>(2) * a * l;
+        stats_.nttVectors += ntt_md;
+        stats_.crbMacVectors += md_macs;
+        stats_.mulVectors += 2ull * l;
+        stats_.addVectors += 4ull * l; // subtract + combine
+
+        {
+            PolyInst md;
+            md.mnemonic = tag + ".ksw.moddown";
+            md.n = n;
+            const unsigned nmu = par(cfg_.nttUnits, ntt_md);
+            if (cfg_.hasCrb && cfg_.hasChaining) {
+                md.fus = {{FuType::Ntt, nmu, ntt_md * bflyPerVec},
+                          {FuType::Crb, 1, md_macs * n},
+                          {FuType::Multiply, 1, 2ull * l * n},
+                          {FuType::Add, 2, 4ull * l * n}};
+                md.duration = ceilDiv(ntt_md, nmu) * vc;
+                md.rfPorts = clamp_ports(4);
+            } else {
+                md.fus = {{FuType::Ntt, nmu, ntt_md * bflyPerVec},
+                          {FuType::Multiply, std::min(sw_par,
+                                                      cfg_.mulUnits),
+                           (md_macs + 2ull * l) * n},
+                          {FuType::Add, std::min(sw_par, cfg_.addUnits),
+                           (md_macs + 4ull * l) * n}};
+                md.duration =
+                    std::max(ceilDiv(ntt_md, nmu),
+                             ceilDiv(md_macs + 2 * l, sw_par)) * vc;
+                md.rfPorts = clamp_ports(3 * sw_par);
+            }
+            md.reads = {acc};
+            if (extra_read != std::uint32_t(-1))
+                md.reads.push_back(extra_read);
+            md.writes = {out_vid};
+            md.networkWords = ntt_md * n;
+            md.rfWords = (2ull * ext + 4ull * l) * n;
+            prog.addInst(std::move(md));
+        }
+    };
+
+    // ------------------------------------------------------------------
+    for (const HomOp &op : hp.ops) {
+        const unsigned l = op.level;
+        const unsigned lo = op.outLevel;
+        const std::string tag = "op" + std::to_string(op.id);
+
+        switch (op.kind) {
+          case HomOpKind::Input: {
+            valueOf[op.id] =
+                prog.addValue(ValueKind::Input, ct_words(l), tag + ".in");
+            break;
+          }
+          case HomOpKind::Output: {
+            const std::uint32_t src = valueOf[op.args[0]];
+            // Copy into an output-class value so the store is
+            // accounted (and the source may still be consumed).
+            const std::uint32_t out = prog.addValue(
+                ValueKind::Output, ct_words(l), tag + ".out");
+            PolyInst cp;
+            cp.mnemonic = tag + ".store";
+            cp.n = n;
+            cp.fus = {{FuType::Add, 1, ct_words(l)}};
+            cp.reads = {src};
+            cp.writes = {out};
+            cp.duration = ceilDiv(2ull * l, 1) * vc;
+            cp.rfPorts = clamp_ports(2);
+            cp.rfWords = 2 * ct_words(l);
+            prog.addInst(std::move(cp));
+            valueOf[op.id] = out;
+            break;
+          }
+          case HomOpKind::Add: {
+            const std::uint32_t out = prog.addValue(
+                ValueKind::Intermediate, ct_words(l), tag + ".sum");
+            PolyInst inst;
+            inst.mnemonic = tag + ".add";
+            inst.n = n;
+            const unsigned apu = par(cfg_.addUnits, 2ull * l);
+            inst.fus = {{FuType::Add, apu, ct_words(l)}};
+            inst.reads = {valueOf[op.args[0]], valueOf[op.args[1]]};
+            inst.writes = {out};
+            inst.duration = ceilDiv(2ull * l, apu) * vc;
+            inst.rfPorts = clamp_ports(3);
+            inst.rfWords = 3 * ct_words(l);
+            stats_.addVectors += 2ull * l;
+            prog.addInst(std::move(inst));
+            valueOf[op.id] = out;
+            break;
+          }
+          case HomOpKind::AddPlain: {
+            const std::uint32_t out = prog.addValue(
+                ValueKind::Intermediate, ct_words(l), tag + ".sum");
+            PolyInst inst;
+            inst.mnemonic = tag + ".addp";
+            inst.n = n;
+            inst.fus = {{FuType::Add, 1, static_cast<std::uint64_t>(l) *
+                                             n}};
+            inst.reads = {valueOf[op.args[0]],
+                          get_plain(op.plainId, l)};
+            inst.writes = {out};
+            inst.duration = static_cast<std::uint64_t>(l) * vc;
+            inst.rfPorts = clamp_ports(3);
+            inst.rfWords = (3ull * l) * n;
+            stats_.addVectors += l;
+            prog.addInst(std::move(inst));
+            valueOf[op.id] = out;
+            break;
+          }
+          case HomOpKind::MulPlain: {
+            const unsigned drop = l - lo;
+            const std::uint32_t out = prog.addValue(
+                ValueKind::Intermediate, ct_words(lo), tag + ".prod");
+            PolyInst inst;
+            inst.mnemonic = tag + ".mulp";
+            inst.n = n;
+            const std::uint64_t mul_vecs = 2ull * l;
+            std::uint64_t ntt_vecs = 0;
+            const unsigned mpu = par(cfg_.mulUnits, mul_vecs);
+            unsigned npu = 1;
+            inst.fus = {{FuType::Multiply, mpu, mul_vecs * n}};
+            if (drop > 0) {
+                // Fused rescale: INTT dropped towers, correct and NTT
+                // back into the remaining ones.
+                ntt_vecs = 2ull * drop + 2ull * lo;
+                npu = par(cfg_.nttUnits, ntt_vecs);
+                inst.fus.push_back({FuType::Ntt, npu,
+                                    ntt_vecs * bflyPerVec});
+                inst.fus.push_back({FuType::Add, 1, 2ull * lo * n});
+                inst.networkWords = ntt_vecs * n;
+            }
+            inst.reads = {valueOf[op.args[0]], get_plain(op.plainId, l)};
+            inst.writes = {out};
+            inst.duration = std::max(ceilDiv(mul_vecs, mpu),
+                                     ceilDiv(ntt_vecs, npu)) * vc;
+            inst.rfPorts = clamp_ports(4);
+            inst.rfWords = (3ull * l + 2ull * lo) * n;
+            stats_.mulVectors += mul_vecs;
+            stats_.nttVectors += ntt_vecs;
+            prog.addInst(std::move(inst));
+            valueOf[op.id] = out;
+            break;
+          }
+          case HomOpKind::Mul: {
+            const unsigned drop = l - lo;
+            const std::uint32_t va = valueOf[op.args[0]];
+            const std::uint32_t vb = valueOf[op.args[1]];
+            // Tensor product: t2 = a1*b1 switched; (t0, t1) combined.
+            const std::uint32_t tensor = prog.addValue(
+                ValueKind::Intermediate, 3ull * l * n, tag + ".tensor");
+            PolyInst tp;
+            tp.mnemonic = tag + ".tensor";
+            tp.n = n;
+            const std::uint64_t tmuls = 4ull * l;
+            const unsigned tpu = par(cfg_.mulUnits, tmuls);
+            tp.fus = {{FuType::Multiply, tpu, tmuls * n},
+                      {FuType::Add, 1, static_cast<std::uint64_t>(l) * n}};
+            tp.reads = {va, vb};
+            tp.writes = {tensor};
+            tp.duration = ceilDiv(tmuls, tpu) * vc;
+            tp.rfPorts = clamp_ports(cfg_.hasChaining ? 5 : 6);
+            tp.rfWords = (4ull * l + 3ull * l) * n;
+            stats_.mulVectors += tmuls;
+            stats_.addVectors += l;
+            prog.addInst(std::move(tp));
+
+            // Relinearize t2 and fold the combine into mod-down.
+            const std::uint32_t ks = prog.addValue(
+                ValueKind::Intermediate, ct_words(l), tag + ".relin");
+            emit_keyswitch(tensor, l, op.digits, op.keyId, tensor, ks,
+                           tag);
+
+            // Rescale to the output level.
+            const std::uint32_t out = prog.addValue(
+                ValueKind::Intermediate, ct_words(lo), tag + ".out");
+            PolyInst rs;
+            rs.mnemonic = tag + ".rescale";
+            rs.n = n;
+            const std::uint64_t ntt_rs = 2ull * drop + 2ull * lo;
+            const unsigned rsu = par(cfg_.nttUnits, ntt_rs);
+            rs.fus = {{FuType::Ntt, rsu, ntt_rs * bflyPerVec},
+                      {FuType::Multiply, 1, 2ull * lo * n},
+                      {FuType::Add, 1, 2ull * lo * n}};
+            rs.reads = {ks};
+            rs.writes = {out};
+            rs.duration = ceilDiv(ntt_rs, rsu) * vc;
+            rs.networkWords = ntt_rs * n;
+            rs.rfPorts = clamp_ports(3);
+            rs.rfWords = (2ull * l + 2ull * lo) * n;
+            stats_.nttVectors += ntt_rs;
+            stats_.mulVectors += 2ull * lo;
+            stats_.addVectors += 2ull * lo;
+            prog.addInst(std::move(rs));
+            valueOf[op.id] = out;
+            break;
+          }
+          case HomOpKind::Rotate:
+          case HomOpKind::Conjugate: {
+            const std::uint32_t src = valueOf[op.args[0]];
+            const std::uint32_t rot = prog.addValue(
+                ValueKind::Intermediate, ct_words(l), tag + ".rot");
+            PolyInst au;
+            au.mnemonic = tag + ".auto";
+            au.n = n;
+            au.fus = {{FuType::Automorphism, 1, ct_words(l)}};
+            au.reads = {src};
+            au.writes = {rot};
+            au.duration = 2ull * l * vc;
+            au.networkWords = 2ull * ct_words(l); // two transposes each
+            au.rfPorts = clamp_ports(2);
+            au.rfWords = 2 * ct_words(l);
+            prog.addInst(std::move(au));
+
+            const std::uint32_t out = prog.addValue(
+                ValueKind::Intermediate, ct_words(l), tag + ".out");
+            emit_keyswitch(rot, l, op.digits, op.keyId, rot, out, tag);
+            valueOf[op.id] = out;
+            break;
+          }
+          case HomOpKind::Rescale: {
+            const unsigned drop = l - lo;
+            const std::uint32_t out = prog.addValue(
+                ValueKind::Intermediate, ct_words(lo), tag + ".out");
+            PolyInst rs;
+            rs.mnemonic = tag + ".rescale";
+            rs.n = n;
+            const std::uint64_t ntt_rs = 2ull * drop + 2ull * lo;
+            const unsigned rsu = par(cfg_.nttUnits, ntt_rs);
+            rs.fus = {{FuType::Ntt, rsu, ntt_rs * bflyPerVec},
+                      {FuType::Multiply, 1, 2ull * lo * n},
+                      {FuType::Add, 1, 2ull * lo * n}};
+            rs.reads = {valueOf[op.args[0]]};
+            rs.writes = {out};
+            rs.duration = ceilDiv(ntt_rs, rsu) * vc;
+            rs.networkWords = ntt_rs * n;
+            rs.rfPorts = clamp_ports(3);
+            rs.rfWords = (2ull * l + 2ull * lo) * n;
+            prog.addInst(std::move(rs));
+            valueOf[op.id] = out;
+            break;
+          }
+          case HomOpKind::LevelDrop: {
+            const std::uint32_t out = prog.addValue(
+                ValueKind::Intermediate, ct_words(lo), tag + ".out");
+            PolyInst cp;
+            cp.mnemonic = tag + ".leveldrop";
+            cp.n = n;
+            cp.fus = {{FuType::Add, 1, ct_words(lo)}};
+            cp.reads = {valueOf[op.args[0]]};
+            cp.writes = {out};
+            cp.duration = 2ull * lo * vc;
+            cp.rfPorts = clamp_ports(2);
+            cp.rfWords = 2 * ct_words(lo);
+            prog.addInst(std::move(cp));
+            valueOf[op.id] = out;
+            break;
+          }
+          case HomOpKind::ModRaise: {
+            // Raise both polynomials from l to lo (> l) towers:
+            // INTT, change base, NTT everything back up.
+            const std::uint32_t out = prog.addValue(
+                ValueKind::Intermediate, ct_words(lo), tag + ".raised");
+            PolyInst mr;
+            mr.mnemonic = tag + ".modraise";
+            mr.n = n;
+            const std::uint64_t ntt_vecs =
+                2ull * l + 2ull * lo; // INTT in + NTT out
+            const std::uint64_t macs =
+                2ull * l * (lo - l); // change-base MACs
+            const unsigned mru = par(cfg_.nttUnits, ntt_vecs);
+            if (cfg_.hasCrb) {
+                mr.fus = {{FuType::Ntt, mru, ntt_vecs * bflyPerVec},
+                          {FuType::Crb, 1, macs * n}};
+                mr.duration = ceilDiv(ntt_vecs, mru) * vc;
+                mr.rfPorts = clamp_ports(2);
+            } else {
+                mr.fus = {{FuType::Ntt, mru, ntt_vecs * bflyPerVec},
+                          {FuType::Multiply, sw_par, macs * n},
+                          {FuType::Add, sw_par, macs * n}};
+                mr.duration = std::max(ceilDiv(ntt_vecs, mru),
+                                       ceilDiv(macs, sw_par)) * vc;
+                mr.rfPorts = clamp_ports(3 * sw_par);
+            }
+            mr.reads = {valueOf[op.args[0]]};
+            mr.writes = {out};
+            mr.networkWords = ntt_vecs * n;
+            mr.rfWords = (2ull * l + 2ull * lo) * n;
+            stats_.nttVectors += ntt_vecs;
+            stats_.crbMacVectors += macs;
+            prog.addInst(std::move(mr));
+            valueOf[op.id] = out;
+            break;
+          }
+        }
+    }
+
+    prog.validate();
+    return prog;
+}
+
+} // namespace cl

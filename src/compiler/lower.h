@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Lowering homomorphic operations to accelerator instructions
+ * (Sec 6, step 3).
+ *
+ * Each keyswitch becomes up to three chained FU pipelines (mod-up,
+ * hint MAC, mod-down — Fig 8 shows the MAC/mod-down chain); all other
+ * polynomial computations become single-FU instructions. When the
+ * configuration lacks the CRB or chaining (Table 4 ablations), the
+ * change-RNS-base MACs are emitted as port-hungry multiply/add ops —
+ * reproducing the register-file bottleneck that motivates the CRB.
+ */
+
+#ifndef CL_COMPILER_LOWER_H
+#define CL_COMPILER_LOWER_H
+
+#include "compiler/homprogram.h"
+#include "hw/config.h"
+
+namespace cl {
+
+/** Lowering statistics for cross-checks against Table 1. */
+struct LowerStats
+{
+    std::uint64_t keyswitches = 0;
+    std::uint64_t nttVectors = 0;  ///< Residue-poly (I)NTT count.
+    std::uint64_t mulVectors = 0;  ///< Element-wise multiply count.
+    std::uint64_t addVectors = 0;
+    std::uint64_t crbMacVectors = 0;
+};
+
+class Lowering
+{
+  public:
+    explicit Lowering(ChipConfig cfg) : cfg_(std::move(cfg)) {}
+
+    /** Translate a homomorphic program into a vector program. */
+    Program lower(const HomProgram &hp);
+
+    const LowerStats &stats() const { return stats_; }
+
+  private:
+    ChipConfig cfg_;
+    LowerStats stats_;
+};
+
+} // namespace cl
+
+#endif // CL_COMPILER_LOWER_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Top-level public API: compile an FHE program for an accelerator
+ * configuration and execute it on the cycle-level simulator.
+ *
+ * This is the facade a downstream user interacts with:
+ *
+ *   auto prog = cl::resnet20();
+ *   cl::Accelerator accel(cl::ChipConfig::craterLake());
+ *   auto result = accel.execute(prog);
+ *   std::cout << result.milliseconds() << " ms\n";
+ */
+
+#ifndef CL_CORE_CRATERLAKE_H
+#define CL_CORE_CRATERLAKE_H
+
+#include "compiler/lower.h"
+#include "sim/simulator.h"
+
+namespace cl {
+
+struct RunResult
+{
+    ChipConfig config;
+    SimStats stats;
+    LowerStats lowering;
+    std::size_t instructions = 0;
+    std::size_t homOps = 0;
+
+    double seconds() const { return stats.seconds(config); }
+    double milliseconds() const { return seconds() * 1e3; }
+};
+
+class Accelerator
+{
+  public:
+    explicit Accelerator(ChipConfig cfg) : cfg_(std::move(cfg)) {}
+
+    const ChipConfig &config() const { return cfg_; }
+
+    /** Compile (lower + schedule) and simulate a program. */
+    RunResult
+    execute(const HomProgram &hp) const
+    {
+        Lowering lower(cfg_);
+        Program prog = lower.lower(hp);
+        Simulator sim(cfg_);
+        RunResult r;
+        r.config = cfg_;
+        r.stats = sim.run(prog);
+        r.lowering = lower.stats();
+        r.instructions = prog.size();
+        r.homOps = hp.ops.size();
+        return r;
+    }
+
+  private:
+    ChipConfig cfg_;
+};
+
+/**
+ * F1+'s algorithm selection (Sec 8): standard keyswitching where it
+ * is more efficient (L <= 14), boosted above.
+ */
+inline DigitPolicy
+f1plusPolicy(DigitPolicy base = digitPolicy80())
+{
+    return [base](unsigned level) -> unsigned {
+        return level <= 14 ? level : base(level);
+    };
+}
+
+} // namespace cl
+
+#endif // CL_CORE_CRATERLAKE_H

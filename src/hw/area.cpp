@@ -1,0 +1,58 @@
+#include "area.h"
+
+namespace cl {
+
+namespace {
+
+// Per-unit areas from Table 2 (mm^2, 14/12 nm), at the reference
+// configuration: E = 2048 lanes, N_max = 64K, L_max = 60.
+constexpr double crbRefArea = 158.8; // 60 pipelines, 26.25 MB buffers
+constexpr double nttUnitArea = 28.1; // per unit
+constexpr double autUnitArea = 9.0;
+constexpr double kshGenArea = 3.3;
+constexpr double mulUnitArea = 2.2;  // per unit
+constexpr double addUnitArea = 0.8;  // per unit
+constexpr double rfAreaPerMB = 192.0 / 256;
+constexpr double fixedNetworkArea = 10.0;
+constexpr double crossbarNetworkArea = 160.0; // 16x (Sec 8)
+constexpr double hbmPhyArea = 29.8 / 2;
+
+} // namespace
+
+AreaBreakdown
+areaModel(const ChipConfig &cfg)
+{
+    AreaBreakdown a;
+    const double lane_scale = static_cast<double>(cfg.lanes) / 2048.0;
+    // Vectors longer than 64K add one butterfly stage per doubling
+    // and double the CRB buffers (Sec 9.4: +27.4 mm^2 for 128K).
+    const double nmax_scale =
+        static_cast<double>(cfg.nMax) / static_cast<double>(1ull << 16);
+
+    if (cfg.hasCrb) {
+        // The 26.25 MB residue-poly buffers are ~13% of the CRB at
+        // SRAM density; they scale with N_max (Sec 9.4), the MAC
+        // array with pipelines and lanes.
+        const double pipe_scale = cfg.crbPipelines / 60.0;
+        a.crb = crbRefArea * lane_scale * pipe_scale *
+                (0.87 + 0.13 * nmax_scale);
+    }
+    const double ntt_stage_scale =
+        (16.0 + (nmax_scale > 1 ? 1.0 : 0.0)) / 16.0; // extra stage
+    a.ntt = nttUnitArea * cfg.nttUnits * lane_scale * ntt_stage_scale;
+    a.automorphism = autUnitArea * cfg.autUnits * lane_scale;
+    if (cfg.hasKshGen)
+        a.kshGen = kshGenArea * lane_scale;
+    a.multiply = mulUnitArea * cfg.mulUnits * lane_scale;
+    a.add = addUnitArea * cfg.addUnits * lane_scale;
+
+    a.registerFile =
+        rfAreaPerMB * static_cast<double>(cfg.rfBytes >> 20);
+    a.interconnect = cfg.network == NetworkType::FixedPermutation
+                         ? fixedNetworkArea
+                         : crossbarNetworkArea;
+    a.memPhy = hbmPhyArea * cfg.hbmPhys;
+    return a;
+}
+
+} // namespace cl

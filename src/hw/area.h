@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Analytic area model reproducing Table 2 (14/12 nm synthesis
+ * results) and its scaling rules: CRB area scales with pipeline count
+ * and buffer size, register file with capacity, interconnect with the
+ * network style (fixed permutation vs 16x-larger crossbar, Sec 5.3).
+ */
+
+#ifndef CL_HW_AREA_H
+#define CL_HW_AREA_H
+
+#include <string>
+#include <vector>
+
+#include "hw/config.h"
+
+namespace cl {
+
+struct AreaBreakdown
+{
+    double crb = 0;
+    double ntt = 0;
+    double automorphism = 0;
+    double kshGen = 0;
+    double multiply = 0;
+    double add = 0;
+    double registerFile = 0;
+    double interconnect = 0;
+    double memPhy = 0;
+
+    double
+    totalFus() const
+    {
+        return crb + ntt + automorphism + kshGen + multiply + add;
+    }
+
+    double
+    total() const
+    {
+        return totalFus() + registerFile + interconnect + memPhy;
+    }
+};
+
+/** Area (mm^2) of a configuration in the paper's 14/12 nm process. */
+AreaBreakdown areaModel(const ChipConfig &cfg);
+
+/** Scaling factor to TSMC 5 nm (Sec 7: 472 -> 157 mm^2). */
+constexpr double areaScale5nm = 157.0 / 472.3;
+
+} // namespace cl
+
+#endif // CL_HW_AREA_H

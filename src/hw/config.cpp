@@ -1,0 +1,80 @@
+#include "config.h"
+
+namespace cl {
+
+ChipConfig
+ChipConfig::craterLake()
+{
+    return ChipConfig{}; // defaults are the paper's configuration
+}
+
+ChipConfig
+ChipConfig::craterLake128k()
+{
+    ChipConfig c;
+    c.name = "craterlake-128k";
+    c.nMax = 1ull << 17;
+    // CRB buffers double and NTTs gain a butterfly stage (Sec 9.4);
+    // timing-wise the wider vectors just take 2x the issue cycles.
+    return c;
+}
+
+ChipConfig
+ChipConfig::noKshGen()
+{
+    ChipConfig c;
+    c.name = "craterlake-nokshgen";
+    c.hasKshGen = false;
+    return c;
+}
+
+ChipConfig
+ChipConfig::noCrbNoChain()
+{
+    ChipConfig c;
+    c.name = "craterlake-nocrb";
+    c.hasCrb = false;
+    c.hasChaining = false;
+    return c;
+}
+
+ChipConfig
+ChipConfig::crossbarNetwork()
+{
+    ChipConfig c;
+    c.name = "craterlake-crossbar";
+    c.network = NetworkType::Crossbar;
+    return c;
+}
+
+ChipConfig
+ChipConfig::f1plus()
+{
+    ChipConfig c;
+    c.name = "f1plus";
+    c.lanes = 256;       // per-cluster vector width
+    c.laneGroups = 32;   // clusters
+    c.nttUnits = 32;     // one per cluster
+    c.autUnits = 32;
+    c.mulUnits = 64;     // two per cluster
+    c.addUnits = 64;
+    c.hasCrb = false;
+    c.hasKshGen = false;
+    c.hasChaining = false;
+    c.rfPorts = 32;      // ~1 effective port per cluster (the
+                         // >100-port shortfall of Sec 2.5)
+    c.network = NetworkType::Crossbar;
+    c.netWordsPerCycleOverride = 16384; // 57 TB/s (Sec 4.3)
+    return c;
+}
+
+ChipConfig
+ChipConfig::withRfMB(unsigned mb)
+{
+    ChipConfig c;
+    c.name = "craterlake-rf" + std::to_string(mb);
+    c.rfBytes = static_cast<std::uint64_t>(mb) << 20;
+    return c;
+}
+
+} // namespace cl

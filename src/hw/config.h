@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Hardware configuration of the modeled accelerator (Sec 4, Sec 7).
+ *
+ * A single ChipConfig describes CraterLake, its ablations (Table 4),
+ * and the parameters relevant to F1+-style organizations, so the same
+ * simulator evaluates every design point.
+ */
+
+#ifndef CL_HW_CONFIG_H
+#define CL_HW_CONFIG_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "isa/program.h"
+
+namespace cl {
+
+enum class NetworkType
+{
+    FixedPermutation, ///< CraterLake's switchless transpose network.
+    Crossbar          ///< F1-style cluster crossbar (ablation).
+};
+
+struct ChipConfig
+{
+    std::string name = "craterlake";
+
+    // --- Vector organization (Sec 4.1, 4.2) ---
+    std::size_t lanes = 2048;     ///< E: vector lanes chip-wide.
+    std::size_t laneGroups = 8;   ///< G: physically distinct groups.
+    double freqGhz = 1.0;
+
+    // --- Functional units (Fig 5) ---
+    unsigned nttUnits = 2;
+    unsigned autUnits = 1;
+    unsigned mulUnits = 5;
+    unsigned addUnits = 5;
+    bool hasCrb = true;      ///< Change-RNS-base unit (Sec 5.1).
+    unsigned crbPipelines = 60; ///< = L_max the CRB is sized for.
+    bool hasKshGen = true;   ///< Keyswitch-hint generator (Sec 5.2).
+    bool hasChaining = true; ///< Vector chaining (Sec 5.4).
+
+    // --- Storage & memory (Sec 4.1, Sec 7) ---
+    std::uint64_t rfBytes = 256ull << 20; ///< Register file capacity.
+    unsigned rfPorts = 12;   ///< Effective R/W ports (banked, 2x pump).
+    unsigned hbmPhys = 2;
+    double hbmGBpsPerPhy = 512.0;
+
+    // --- Datapath ---
+    unsigned wordBits = 28;  ///< Sec 5.5.
+    std::size_t nMax = 1ull << 16;
+    unsigned lMax = 60;
+
+    // --- Interconnect (Sec 5.3) ---
+    NetworkType network = NetworkType::FixedPermutation;
+    /** Override network bandwidth (words/cycle); 0 = 4x lanes. */
+    double netWordsPerCycleOverride = 0;
+
+    // Derived quantities -------------------------------------------------
+
+    /** Bytes per hardware word as stored (packed 28-bit words). */
+    double wordBytes() const { return wordBits / 8.0; }
+
+    /** Memory bandwidth in words per cycle. */
+    double
+    memWordsPerCycle() const
+    {
+        const double bytes_per_cycle =
+            hbmPhys * hbmGBpsPerPhy / freqGhz; // GB/s over Gcycle/s
+        return bytes_per_cycle / wordBytes();
+    }
+
+    /** Register file capacity in words. */
+    std::uint64_t
+    rfWords() const
+    {
+        return static_cast<std::uint64_t>(rfBytes / wordBytes());
+    }
+
+    /** Issue cycles for one N-element vector op. */
+    std::uint64_t
+    vectorCycles(std::size_t n) const
+    {
+        return std::max<std::uint64_t>(1, n / lanes);
+    }
+
+    /** Count of FUs of a given type. */
+    unsigned
+    fuCount(FuType t) const
+    {
+        switch (t) {
+          case FuType::Ntt:
+            return nttUnits;
+          case FuType::Automorphism:
+            return autUnits;
+          case FuType::Multiply:
+            return mulUnits;
+          case FuType::Add:
+            return addUnits;
+          case FuType::Crb:
+            return hasCrb ? 1 : 0;
+          case FuType::KshGen:
+            return hasKshGen ? 1 : 0;
+          case FuType::Transpose:
+            return 1; // the inter-group network, modeled as one resource
+          default:
+            return 0;
+        }
+    }
+
+    /** Network bandwidth in elements per cycle (Sec 4.2: 4E for the
+     *  fixed permutation network; 29 TB/s at E=2048 and 1 GHz). */
+    double
+    networkWordsPerCycle() const
+    {
+        if (netWordsPerCycleOverride > 0)
+            return netWordsPerCycleOverride;
+        return 4.0 * static_cast<double>(lanes);
+    }
+
+    // Standard configurations --------------------------------------------
+
+    /** The paper's CraterLake configuration (Sec 7). */
+    static ChipConfig craterLake();
+
+    /** CraterLake sized for N=128K (Sec 9.4, 200-bit security). */
+    static ChipConfig craterLake128k();
+
+    /** Ablation: no KSHGen (full hints from memory), Table 4. */
+    static ChipConfig noKshGen();
+
+    /** Ablation: no CRB and no chaining, Table 4. */
+    static ChipConfig noCrbNoChain();
+
+    /** Ablation: crossbar network + residue-polynomial tiling. */
+    static ChipConfig crossbarNetwork();
+
+    /** Register-file size sweep variant (Fig 11). */
+    static ChipConfig withRfMB(unsigned mb);
+
+    /**
+     * F1+ (Sec 8): F1 scaled to 32 clusters x 256 lanes, 256 MB
+     * scratchpad, crossbar interconnect. Each vector op runs on one
+     * 256-lane cluster; parallelism comes from the 32 clusters'
+     * worth of FUs. No CRB/KSHGen/chaining, so boosted keyswitching
+     * is throttled by register-file ports — the paper's Sec 2.5
+     * critique, reproduced structurally.
+     */
+    static ChipConfig f1plus();
+};
+
+} // namespace cl
+
+#endif // CL_HW_CONFIG_H

@@ -1,0 +1,28 @@
+#include "energy.h"
+
+namespace cl {
+
+double
+fuEnergyPerLaneOp(const EnergyParams &p, FuType t)
+{
+    switch (t) {
+      case FuType::Ntt:
+        return p.nttButterfly;
+      case FuType::Crb:
+        return p.crbMac;
+      case FuType::Multiply:
+        return p.modMul;
+      case FuType::Add:
+        return p.modAdd;
+      case FuType::Automorphism:
+        return p.autoMove;
+      case FuType::KshGen:
+        return p.kshGenWord;
+      case FuType::Transpose:
+        return p.networkWord;
+      default:
+        CL_PANIC("bad FU type for energy");
+    }
+}
+
+} // namespace cl

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Activity-based energy model (Sec 8: "activity-level energies from
+ * synthesized components"). Constants are calibrated so that the
+ * CraterLake configuration reproduces the paper's power envelope
+ * (Fig 10b: 81-317 W, FUs consuming 50-80%).
+ */
+
+#ifndef CL_HW_ENERGY_H
+#define CL_HW_ENERGY_H
+
+#include "hw/config.h"
+
+namespace cl {
+
+/** Energy per elementary event, picojoules (14/12 nm, 28-bit). */
+struct EnergyParams
+{
+    double nttButterfly = 3.6;  ///< One butterfly: modmul + 2 modadd.
+    double crbMac = 3.0;        ///< Multiply-accumulate in the CRB.
+    double modMul = 2.8;        ///< Standalone modular multiply.
+    double modAdd = 0.2;
+    double autoMove = 0.25;     ///< Permutation move per element.
+    double kshGenWord = 5.0;    ///< Keccak + rejection per word.
+    double rfAccessWord = 1.1;  ///< Register-file read or write.
+    double networkWord = 1.8;   ///< Inter-lane-group transfer.
+    double hbmWord = 120.0;     ///< Off-chip transfer (~34 pJ/bit).
+    double staticWatts = 35.0;  ///< Leakage + clock tree.
+};
+
+struct EnergyBreakdown
+{
+    double funcUnits = 0;   ///< Joules.
+    double registerFile = 0;
+    double network = 0;
+    double hbm = 0;
+    double staticEnergy = 0;
+
+    double
+    total() const
+    {
+        return funcUnits + registerFile + network + hbm + staticEnergy;
+    }
+};
+
+/** Energy per lane-op for a given FU type. */
+double fuEnergyPerLaneOp(const EnergyParams &p, FuType t);
+
+} // namespace cl
+
+#endif // CL_HW_ENERGY_H

@@ -1,0 +1,55 @@
+#include "program.h"
+
+namespace cl {
+
+const char *
+fuTypeName(FuType t)
+{
+    switch (t) {
+      case FuType::Ntt:
+        return "NTT";
+      case FuType::Automorphism:
+        return "Aut";
+      case FuType::Multiply:
+        return "Mul";
+      case FuType::Add:
+        return "Add";
+      case FuType::Crb:
+        return "CRB";
+      case FuType::KshGen:
+        return "KSHGen";
+      case FuType::Transpose:
+        return "Transpose";
+      default:
+        CL_PANIC("bad FU type");
+    }
+}
+
+void
+Program::validate() const
+{
+    std::vector<bool> produced(values.size(), false);
+    for (const auto &v : values) {
+        // Inputs, hints, and plaintexts are live-in; intermediates
+        // must be produced by an instruction before use.
+        if (v.producer < 0 && v.kind != ValueKind::Intermediate)
+            produced[v.id] = true;
+    }
+    for (const auto &inst : insts) {
+        for (auto r : inst.reads) {
+            CL_ASSERT(produced[r], "inst ", inst.id, " (", inst.mnemonic,
+                      ") reads value ", r, " before production");
+        }
+        for (auto w : inst.writes) {
+            CL_ASSERT(!produced[w] ||
+                          values[w].kind == ValueKind::Intermediate,
+                      "value ", w, " written twice");
+            produced[w] = true;
+        }
+        CL_ASSERT(inst.duration > 0, "empty instruction ", inst.id);
+        CL_ASSERT(inst.n > 0 && isPowerOfTwo(inst.n), "bad N in inst ",
+                  inst.id);
+    }
+}
+
+} // namespace cl

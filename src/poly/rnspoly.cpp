@@ -1,0 +1,183 @@
+#include "rnspoly.h"
+
+namespace cl {
+
+RnsPoly::RnsPoly(const RnsChain &chain, std::vector<unsigned> mod_idx,
+                 bool ntt_form)
+    : chain_(&chain), modIdx_(std::move(mod_idx)), ntt_(ntt_form)
+{
+    CL_ASSERT(!modIdx_.empty(), "polynomial needs at least one tower");
+    rns_.assign(modIdx_.size(), std::vector<u64>(chain.n(), 0));
+}
+
+void
+RnsPoly::checkCompatible(const RnsPoly &other) const
+{
+    CL_ASSERT(chain_ == other.chain_, "mixing RNS chains");
+    CL_ASSERT(modIdx_ == other.modIdx_, "operand bases differ: ",
+              towers(), " vs ", other.towers(), " towers");
+    CL_ASSERT(ntt_ == other.ntt_, "operand domains differ");
+}
+
+void
+RnsPoly::toNtt()
+{
+    if (ntt_)
+        return;
+    for (std::size_t t = 0; t < towers(); ++t)
+        chain_->ntt(modIdx_[t]).forward(rns_[t].data());
+    ntt_ = true;
+}
+
+void
+RnsPoly::toCoeff()
+{
+    if (!ntt_)
+        return;
+    for (std::size_t t = 0; t < towers(); ++t)
+        chain_->ntt(modIdx_[t]).inverse(rns_[t].data());
+    ntt_ = false;
+}
+
+RnsPoly &
+RnsPoly::operator+=(const RnsPoly &other)
+{
+    checkCompatible(other);
+    for (std::size_t t = 0; t < towers(); ++t) {
+        const u64 q = modulus(t);
+        u64 *a = rns_[t].data();
+        const u64 *b = other.rns_[t].data();
+        for (std::size_t i = 0; i < n(); ++i)
+            a[i] = addMod(a[i], b[i], q);
+    }
+    return *this;
+}
+
+RnsPoly &
+RnsPoly::operator-=(const RnsPoly &other)
+{
+    checkCompatible(other);
+    for (std::size_t t = 0; t < towers(); ++t) {
+        const u64 q = modulus(t);
+        u64 *a = rns_[t].data();
+        const u64 *b = other.rns_[t].data();
+        for (std::size_t i = 0; i < n(); ++i)
+            a[i] = subMod(a[i], b[i], q);
+    }
+    return *this;
+}
+
+RnsPoly &
+RnsPoly::operator*=(const RnsPoly &other)
+{
+    checkCompatible(other);
+    CL_ASSERT(ntt_, "element-wise multiply requires NTT form");
+    for (std::size_t t = 0; t < towers(); ++t) {
+        const u64 q = modulus(t);
+        u64 *a = rns_[t].data();
+        const u64 *b = other.rns_[t].data();
+        for (std::size_t i = 0; i < n(); ++i)
+            a[i] = mulMod(a[i], b[i], q);
+    }
+    return *this;
+}
+
+void
+RnsPoly::negate()
+{
+    for (std::size_t t = 0; t < towers(); ++t) {
+        const u64 q = modulus(t);
+        for (u64 &v : rns_[t])
+            v = v == 0 ? 0 : q - v;
+    }
+}
+
+void
+RnsPoly::mulScalar(u64 s)
+{
+    for (std::size_t t = 0; t < towers(); ++t)
+        mulScalarTower(t, s);
+}
+
+void
+RnsPoly::mulScalarTower(std::size_t t, u64 s)
+{
+    const u64 q = modulus(t);
+    const ShoupMul m(s % q, q);
+    for (u64 &v : rns_[t])
+        v = m.mul(v, q);
+}
+
+RnsPoly
+RnsPoly::automorphism(std::size_t k) const
+{
+    RnsPoly out(*chain_, modIdx_, ntt_);
+    const AutomorphismMap &map = chain_->automorphism(k);
+    for (std::size_t t = 0; t < towers(); ++t) {
+        if (ntt_)
+            map.applyNtt(rns_[t].data(), out.rns_[t].data());
+        else
+            map.applyCoeff(rns_[t].data(), out.rns_[t].data(), modulus(t));
+    }
+    return out;
+}
+
+void
+RnsPoly::rescaleLastTower()
+{
+    CL_ASSERT(towers() >= 2, "cannot rescale a single-tower polynomial");
+    const bool was_ntt = ntt_;
+    toCoeff();
+
+    const std::size_t last = towers() - 1;
+    const u64 ql = modulus(last);
+    const std::vector<u64> &xl = rns_[last];
+    const u64 half = ql / 2;
+
+    for (std::size_t t = 0; t < last; ++t) {
+        const u64 qt = modulus(t);
+        const ShoupMul ql_inv(invMod(ql % qt, qt), qt);
+        u64 *a = rns_[t].data();
+        for (std::size_t i = 0; i < n(); ++i) {
+            // Rounded division: subtract the centered last residue,
+            // then divide by q_last. Adding half before centering
+            // implements round-to-nearest.
+            const u64 xl_shift = addMod(xl[i], half, ql);
+            const u64 xl_mod_qt = subMod(xl_shift % qt, half % qt, qt);
+            a[i] = ql_inv.mul(subMod(a[i], xl_mod_qt, qt), qt);
+        }
+    }
+    rns_.pop_back();
+    modIdx_.pop_back();
+    if (was_ntt)
+        toNtt();
+}
+
+RnsPoly
+RnsPoly::subset(const std::vector<unsigned> &chain_idx) const
+{
+    RnsPoly out(*chain_, chain_idx, ntt_);
+    for (std::size_t t = 0; t < chain_idx.size(); ++t) {
+        bool found = false;
+        for (std::size_t s = 0; s < modIdx_.size(); ++s) {
+            if (modIdx_[s] == chain_idx[t]) {
+                out.rns_[t] = rns_[s];
+                found = true;
+                break;
+            }
+        }
+        CL_ASSERT(found, "subset: chain index ", chain_idx[t],
+                  " not present");
+    }
+    return out;
+}
+
+void
+RnsPoly::dropTowers(std::size_t count)
+{
+    CL_ASSERT(count < towers(), "cannot drop all towers");
+    rns_.resize(towers() - count);
+    modIdx_.resize(modIdx_.size() - count);
+}
+
+} // namespace cl

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * RnsPolynomial: a ciphertext polynomial in double-CRT form — a set
+ * of residue polynomials (vectors of N coefficients), each modulo one
+ * small prime of the chain, in either coefficient or NTT domain.
+ *
+ * This is the data type every CraterLake vector instruction operates
+ * on: one residue polynomial is one hardware vector (Sec 4.1).
+ */
+
+#ifndef CL_POLY_RNSPOLY_H
+#define CL_POLY_RNSPOLY_H
+
+#include <vector>
+
+#include "rns/baseconv.h"
+#include "rns/chain.h"
+
+namespace cl {
+
+class RnsPoly
+{
+  public:
+    RnsPoly() : chain_(nullptr), ntt_(false) {}
+
+    /** Zero polynomial over chain moduli with indices @p mod_idx. */
+    RnsPoly(const RnsChain &chain, std::vector<unsigned> mod_idx,
+            bool ntt_form = false);
+
+    bool valid() const { return chain_ != nullptr; }
+    const RnsChain &chain() const { return *chain_; }
+    std::size_t n() const { return chain_->n(); }
+    std::size_t towers() const { return modIdx_.size(); }
+    bool isNtt() const { return ntt_; }
+
+    const std::vector<unsigned> &modIdx() const { return modIdx_; }
+    u64 modulus(std::size_t t) const { return chain_->modulus(modIdx_[t]); }
+
+    std::vector<u64> &residue(std::size_t t) { return rns_[t]; }
+    const std::vector<u64> &residue(std::size_t t) const { return rns_[t]; }
+
+    std::vector<std::vector<u64>> &data() { return rns_; }
+    const std::vector<std::vector<u64>> &data() const { return rns_; }
+
+    /** Bytes this polynomial would occupy at the hardware word width. */
+    std::size_t footprintWords() const { return towers() * n(); }
+
+    // --- Domain conversion ---
+    void toNtt();
+    void toCoeff();
+
+    // --- Element-wise arithmetic (same basis, same domain) ---
+    RnsPoly &operator+=(const RnsPoly &other);
+    RnsPoly &operator-=(const RnsPoly &other);
+    /** Element-wise multiply; both operands must be in NTT form. */
+    RnsPoly &operator*=(const RnsPoly &other);
+
+    void negate();
+
+    /** Multiply every residue by a scalar (reduced per modulus). */
+    void mulScalar(u64 s);
+
+    /** Multiply residue t by a scalar specific to that modulus. */
+    void mulScalarTower(std::size_t t, u64 s);
+
+    /** Apply automorphism x -> x^k (domain-aware). */
+    RnsPoly automorphism(std::size_t k) const;
+
+    /**
+     * Drop the last tower and rescale: divide by its modulus q_last,
+     * rounding. Implements CKKS rescaling (Sec 2.3). Works in either
+     * domain (switches internally as needed); preserves the domain.
+     */
+    void rescaleLastTower();
+
+    /** Remove trailing towers without rescaling (modulus switch for
+     *  plaintexts already scaled appropriately). */
+    void dropTowers(std::size_t count);
+
+    /**
+     * Extract the towers whose chain indices appear in @p chain_idx
+     * (all must be present). Preserves the domain.
+     */
+    RnsPoly subset(const std::vector<unsigned> &chain_idx) const;
+
+    /** Friends produce new values. */
+    friend RnsPoly operator+(RnsPoly a, const RnsPoly &b)
+    {
+        a += b;
+        return a;
+    }
+    friend RnsPoly operator-(RnsPoly a, const RnsPoly &b)
+    {
+        a -= b;
+        return a;
+    }
+    friend RnsPoly operator*(RnsPoly a, const RnsPoly &b)
+    {
+        a *= b;
+        return a;
+    }
+
+  private:
+    void checkCompatible(const RnsPoly &other) const;
+
+    const RnsChain *chain_;
+    std::vector<unsigned> modIdx_;
+    std::vector<std::vector<u64>> rns_;
+    bool ntt_;
+};
+
+} // namespace cl
+
+#endif // CL_POLY_RNSPOLY_H

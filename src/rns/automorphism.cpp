@@ -1,0 +1,91 @@
+#include "automorphism.h"
+
+#include <unordered_map>
+
+namespace cl {
+
+std::vector<std::uint32_t>
+nttSlotExponents(const NttTables &tables)
+{
+    const std::size_t n = tables.n();
+    const u64 q = tables.q();
+    const u64 psi = tables.psi();
+
+    // Discrete-log table: psi^t -> t for t in [0, 2N).
+    std::unordered_map<u64, std::uint32_t> dlog;
+    dlog.reserve(2 * n);
+    u64 acc = 1;
+    for (std::size_t t = 0; t < 2 * n; ++t) {
+        dlog.emplace(acc, static_cast<std::uint32_t>(t));
+        acc = mulMod(acc, psi, q);
+    }
+
+    // NTT of the monomial x: slot j = psi^{e_j}.
+    std::vector<u64> mono(n, 0);
+    mono[1] = 1;
+    tables.forward(mono.data());
+
+    std::vector<std::uint32_t> exps(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        auto it = dlog.find(mono[j]);
+        CL_ASSERT(it != dlog.end(), "NTT slot value not a power of psi");
+        exps[j] = it->second;
+        CL_ASSERT(exps[j] % 2 == 1, "slot exponent must be odd");
+    }
+    return exps;
+}
+
+AutomorphismMap::AutomorphismMap(std::size_t n, std::size_t k,
+                                 const NttTables &tables)
+    : n_(n), k_(k)
+{
+    CL_ASSERT(k % 2 == 1 && k < 2 * n, "bad automorphism exponent k=", k);
+    CL_ASSERT(tables.n() == n);
+
+    // Coefficient domain: x^i -> x^{ik mod 2N}; exponents >= N wrap
+    // with a sign flip because x^N = -1.
+    coeffDst_.resize(n);
+    coeffNeg_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t e = (i * k) % (2 * n);
+        coeffDst_[i] = static_cast<std::uint32_t>(e % n);
+        coeffNeg_[i] = e >= n ? 1 : 0;
+    }
+
+    // NTT domain: output slot j evaluates f(x^k) at psi^{e_j}, which
+    // equals f evaluated at psi^{e_j * k}; find the slot holding that
+    // evaluation point.
+    const auto exps = nttSlotExponents(tables);
+    std::unordered_map<std::uint32_t, std::uint32_t> slot_of_exp;
+    slot_of_exp.reserve(n);
+    for (std::size_t j = 0; j < n; ++j)
+        slot_of_exp.emplace(exps[j], static_cast<std::uint32_t>(j));
+
+    nttSrc_.resize(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        const std::uint32_t e =
+            static_cast<std::uint32_t>((static_cast<std::size_t>(exps[j]) *
+                                        k) % (2 * n));
+        auto it = slot_of_exp.find(e);
+        CL_ASSERT(it != slot_of_exp.end(), "automorphism image not a slot");
+        nttSrc_[j] = it->second;
+    }
+}
+
+void
+AutomorphismMap::applyCoeff(const u64 *in, u64 *out, u64 q) const
+{
+    for (std::size_t i = 0; i < n_; ++i) {
+        const u64 v = in[i];
+        out[coeffDst_[i]] = coeffNeg_[i] ? (v == 0 ? 0 : q - v) : v;
+    }
+}
+
+void
+AutomorphismMap::applyNtt(const u64 *in, u64 *out) const
+{
+    for (std::size_t j = 0; j < n_; ++j)
+        out[j] = in[nttSrc_[j]];
+}
+
+} // namespace cl

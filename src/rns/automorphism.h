@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Automorphism index maps for the negacyclic ring Z_q[x]/(x^N + 1).
+ *
+ * A homomorphic rotation applies the ring automorphism x -> x^k
+ * (k odd), which induces a cyclic rotation of the packed plaintext
+ * slots (Sec 2.2). In the coefficient domain the automorphism is a
+ * signed permutation; in the NTT domain it is a pure permutation of
+ * slots. CraterLake's automorphism FU performs the permutation with
+ * two transposes (Sec 5.3); the functional library just needs the
+ * index maps, which this class precomputes.
+ */
+
+#ifndef CL_RNS_AUTOMORPHISM_H
+#define CL_RNS_AUTOMORPHISM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "rns/ntt.h"
+
+namespace cl {
+
+/** Signed-permutation tables for one automorphism x -> x^k. */
+class AutomorphismMap
+{
+  public:
+    /**
+     * @param n Ring degree.
+     * @param k Odd automorphism exponent, 0 < k < 2n.
+     * @param tables NTT tables used to derive the slot-order
+     *        permutation (the slot ordering convention is shared by
+     *        all moduli, so any modulus' tables work).
+     */
+    AutomorphismMap(std::size_t n, std::size_t k, const NttTables &tables);
+
+    std::size_t k() const { return k_; }
+
+    /** Apply in coefficient domain: out[dst] = ±in[src]. */
+    void applyCoeff(const u64 *in, u64 *out, u64 q) const;
+
+    /** Apply in NTT (slot) domain: out[j] = in[perm[j]]. */
+    void applyNtt(const u64 *in, u64 *out) const;
+
+  private:
+    std::size_t n_;
+    std::size_t k_;
+    std::vector<std::uint32_t> coeffDst_; // i -> destination index
+    std::vector<std::uint8_t> coeffNeg_;  // i -> 1 if negated
+    std::vector<std::uint32_t> nttSrc_;   // j -> source slot
+};
+
+/**
+ * Derive the slot-exponent table of an NTT ordering convention:
+ * exponents e[j] (odd, mod 2N) such that forward-NTT output slot j
+ * holds the evaluation of the input polynomial at psi^{e[j]}. This is
+ * computed empirically (NTT of the monomial x plus discrete logs), so
+ * it stays correct for any butterfly ordering.
+ */
+std::vector<std::uint32_t> nttSlotExponents(const NttTables &tables);
+
+} // namespace cl
+
+#endif // CL_RNS_AUTOMORPHISM_H

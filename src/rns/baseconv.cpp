@@ -1,0 +1,107 @@
+#include "baseconv.h"
+
+namespace cl {
+
+BaseConverter::BaseConverter(const RnsChain &chain,
+                             std::vector<unsigned> src,
+                             std::vector<unsigned> dst)
+    : chain_(chain), src_(std::move(src)), dst_(std::move(dst))
+{
+    CL_ASSERT(!src_.empty() && !dst_.empty());
+
+    const std::size_t ls = src_.size();
+    const std::size_t ld = dst_.size();
+
+    // qHatInv_i = (Q/q_i)^{-1} mod q_i, computed as the product of the
+    // inverses of the other source moduli.
+    qHatInv_.resize(ls);
+    for (std::size_t i = 0; i < ls; ++i) {
+        const u64 qi = chain_.modulus(src_[i]);
+        u64 prod = 1;
+        for (std::size_t m = 0; m < ls; ++m) {
+            if (m == i)
+                continue;
+            prod = mulMod(prod, chain_.modulus(src_[m]) % qi, qi);
+        }
+        qHatInv_[i] = ShoupMul(invMod(prod, qi), qi);
+    }
+
+    // qHat[i][j] = (Q/q_i) mod p_j.
+    qHat_.assign(ls, std::vector<u64>(ld));
+    for (std::size_t i = 0; i < ls; ++i) {
+        for (std::size_t j = 0; j < ld; ++j) {
+            const u64 pj = chain_.modulus(dst_[j]);
+            u64 prod = 1;
+            for (std::size_t m = 0; m < ls; ++m) {
+                if (m == i)
+                    continue;
+                prod = mulMod(prod, chain_.modulus(src_[m]) % pj, pj);
+            }
+            qHat_[i][j] = prod;
+        }
+    }
+}
+
+void
+BaseConverter::convert(const std::vector<std::vector<u64>> &in,
+                       std::vector<std::vector<u64>> &out) const
+{
+    std::vector<std::vector<u64>> scaled;
+    convertKeepScaled(in, scaled, out);
+}
+
+void
+BaseConverter::convertKeepScaled(const std::vector<std::vector<u64>> &in,
+                                 std::vector<std::vector<u64>> &scaled,
+                                 std::vector<std::vector<u64>> &out) const
+{
+    const std::size_t ls = src_.size();
+    const std::size_t ld = dst_.size();
+    const std::size_t n = chain_.n();
+    CL_ASSERT(in.size() == ls, "base conversion: got ", in.size(),
+              " source residues, expected ", ls);
+
+    // Step 1: x'_i = x_i * (Q/q_i)^{-1} mod q_i.
+    scaled.assign(ls, std::vector<u64>(n));
+    for (std::size_t i = 0; i < ls; ++i) {
+        const u64 qi = chain_.modulus(src_[i]);
+        const ShoupMul &s = qHatInv_[i];
+        const u64 *x = in[i].data();
+        u64 *y = scaled[i].data();
+        for (std::size_t c = 0; c < n; ++c)
+            y[c] = s.mul(x[c], qi);
+    }
+
+    // Step 2: the Listing-1 MAC loop; this is what the CRB unit
+    // spatially unrolls. Accumulate in 128 bits and reduce once per
+    // destination coefficient (the hardware keeps running sums in the
+    // CRB residue-poly buffers).
+    out.assign(ld, std::vector<u64>(n));
+    for (std::size_t j = 0; j < ld; ++j) {
+        const u64 pj = chain_.modulus(dst_[j]);
+        // The 128-bit accumulator holds at most reduce_every products
+        // of two values < pj before a reduction is forced, so it can
+        // never wrap even for 62-bit moduli.
+        const unsigned pj_bits = 64 - __builtin_clzll(pj);
+        const std::size_t reduce_every =
+            pj_bits >= 60 ? 8 : (std::size_t{1} << (126 - 2 * pj_bits));
+        std::vector<u128> acc(n, 0);
+        std::size_t since_reduce = 0;
+        for (std::size_t i = 0; i < ls; ++i) {
+            const u64 c = qHat_[i][j];
+            const u64 *x = scaled[i].data();
+            for (std::size_t k = 0; k < n; ++k)
+                acc[k] += (u128)(x[k] % pj) * c;
+            if (++since_reduce >= reduce_every && i + 1 < ls) {
+                for (std::size_t k = 0; k < n; ++k)
+                    acc[k] %= pj;
+                since_reduce = 0;
+            }
+        }
+        u64 *y = out[j].data();
+        for (std::size_t k = 0; k < n; ++k)
+            y[k] = static_cast<u64>(acc[k] % pj);
+    }
+}
+
+} // namespace cl

@@ -1,0 +1,31 @@
+#include "chain.h"
+
+namespace cl {
+
+RnsChain::RnsChain(std::size_t n, std::vector<u64> moduli)
+    : n_(n), moduli_(std::move(moduli))
+{
+    CL_ASSERT(isPowerOfTwo(n_), "N must be a power of two");
+    CL_ASSERT(!moduli_.empty(), "empty modulus chain");
+    ntt_.reserve(moduli_.size());
+    for (u64 q : moduli_) {
+        CL_ASSERT((q - 1) % (2 * n_) == 0, "modulus ", q,
+                  " not NTT-friendly for N=", n_);
+        ntt_.push_back(std::make_unique<NttTables>(n_, q));
+    }
+}
+
+const AutomorphismMap &
+RnsChain::automorphism(std::size_t k) const
+{
+    auto it = autos_.find(k);
+    if (it == autos_.end()) {
+        it = autos_
+                 .emplace(k, std::make_unique<AutomorphismMap>(n_, k,
+                                                               *ntt_[0]))
+                 .first;
+    }
+    return *it->second;
+}
+
+} // namespace cl

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * RnsChain: the ordered list of RNS moduli for a parameter set, with
+ * shared NTT tables and cached automorphism maps.
+ *
+ * A CKKS instance with multiplicative budget L and keyswitching digit
+ * size alpha uses moduli [q_0 .. q_{L-1}, p_0 .. p_{alpha-1}]: the
+ * data moduli followed by the special (extension) moduli used by
+ * boosted keyswitching (Sec 3). Polynomials reference subsets of this
+ * chain by index.
+ */
+
+#ifndef CL_RNS_CHAIN_H
+#define CL_RNS_CHAIN_H
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "rns/automorphism.h"
+#include "rns/ntt.h"
+
+namespace cl {
+
+class RnsChain
+{
+  public:
+    /**
+     * @param n Ring degree.
+     * @param moduli Full modulus list (data moduli then special
+     *        moduli); all must be NTT-friendly for degree n.
+     */
+    RnsChain(std::size_t n, std::vector<u64> moduli);
+
+    std::size_t n() const { return n_; }
+    std::size_t size() const { return moduli_.size(); }
+    u64 modulus(std::size_t i) const { return moduli_[i]; }
+    const std::vector<u64> &moduli() const { return moduli_; }
+
+    const NttTables &ntt(std::size_t i) const { return *ntt_[i]; }
+
+    /** Cached automorphism map for exponent k (lazily built). */
+    const AutomorphismMap &automorphism(std::size_t k) const;
+
+  private:
+    std::size_t n_;
+    std::vector<u64> moduli_;
+    std::vector<std::unique_ptr<NttTables>> ntt_;
+    mutable std::map<std::size_t, std::unique_ptr<AutomorphismMap>> autos_;
+};
+
+} // namespace cl
+
+#endif // CL_RNS_CHAIN_H

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Scalar modular arithmetic for word-sized NTT-friendly primes.
+ *
+ * CraterLake's datapath uses 28-bit moduli (Sec 5.5); the functional
+ * library is generic over any modulus below 2^62 so tests can also use
+ * wide (CKKS-precision) primes. Products are formed in 128-bit
+ * arithmetic; hot paths use Shoup's precomputed-quotient multiply,
+ * which is what a fixed-modulus hardware multiplier amortizes.
+ */
+
+#ifndef CL_RNS_MODARITH_H
+#define CL_RNS_MODARITH_H
+
+#include <cstdint>
+
+#include "util/common.h"
+
+namespace cl {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+/** (a + b) mod q, requiring a, b < q. */
+inline u64
+addMod(u64 a, u64 b, u64 q)
+{
+    u64 s = a + b;
+    return s >= q ? s - q : s;
+}
+
+/** (a - b) mod q, requiring a, b < q. */
+inline u64
+subMod(u64 a, u64 b, u64 q)
+{
+    return a >= b ? a - b : a + q - b;
+}
+
+/** (a * b) mod q via 128-bit product; requires q < 2^63. */
+inline u64
+mulMod(u64 a, u64 b, u64 q)
+{
+    return static_cast<u64>((u128)a * b % q);
+}
+
+/** a^e mod q by square-and-multiply. */
+inline u64
+powMod(u64 a, u64 e, u64 q)
+{
+    u64 r = 1 % q;
+    a %= q;
+    while (e) {
+        if (e & 1)
+            r = mulMod(r, a, q);
+        a = mulMod(a, a, q);
+        e >>= 1;
+    }
+    return r;
+}
+
+/** Modular inverse for prime q (Fermat). */
+inline u64
+invMod(u64 a, u64 q)
+{
+    CL_ASSERT(a % q != 0, "inverse of 0 mod ", q);
+    return powMod(a, q - 2, q);
+}
+
+/** Centered (signed) representative of a mod q, in (-q/2, q/2]. */
+inline std::int64_t
+centered(u64 a, u64 q)
+{
+    return a > q / 2 ? static_cast<std::int64_t>(a) -
+                           static_cast<std::int64_t>(q)
+                     : static_cast<std::int64_t>(a);
+}
+
+/** Reduce a possibly negative value into [0, q). */
+inline u64
+reduceSigned(std::int64_t a, u64 q)
+{
+    std::int64_t m = a % static_cast<std::int64_t>(q);
+    if (m < 0)
+        m += static_cast<std::int64_t>(q);
+    return static_cast<u64>(m);
+}
+
+/**
+ * Shoup multiplication by a fixed operand w modulo q: the quotient
+ * floor(w * 2^64 / q) is precomputed once, turning each modular
+ * multiply into two integer multiplies and one conditional subtract.
+ * This is the software analogue of CraterLake's fixed-twiddle NTT
+ * multipliers.
+ */
+struct ShoupMul
+{
+    u64 w;     ///< Operand, reduced mod q.
+    u64 wPrec; ///< floor(w << 64 / q).
+
+    ShoupMul() : w(0), wPrec(0) {}
+
+    ShoupMul(u64 w_in, u64 q) : w(w_in % q)
+    {
+        wPrec = static_cast<u64>(((u128)w << 64) / q);
+    }
+
+    /** (x * w) mod q, requiring x < q, q < 2^63. */
+    u64
+    mul(u64 x, u64 q) const
+    {
+        u64 hi = static_cast<u64>(((u128)x * wPrec) >> 64);
+        u64 r = x * w - hi * q; // mod 2^64; result in [0, 2q)
+        return r >= q ? r - q : r;
+    }
+};
+
+} // namespace cl
+
+#endif // CL_RNS_MODARITH_H

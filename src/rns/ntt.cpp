@@ -1,0 +1,72 @@
+#include "ntt.h"
+
+#include "rns/primes.h"
+
+namespace cl {
+
+NttTables::NttTables(std::size_t n, u64 q) : n_(n), q_(q)
+{
+    CL_ASSERT(isPowerOfTwo(n), "N must be power of two, got ", n);
+    CL_ASSERT((q - 1) % (2 * n) == 0, "q=", q, " not NTT-friendly for N=",
+              n);
+    logN_ = log2Exact(n);
+    psi_ = findPrimitiveRoot(q, 2 * n);
+    const u64 psi_inv = invMod(psi_, q);
+
+    fwdTwiddles_.resize(n);
+    invTwiddles_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const u64 e = bitReverse(static_cast<std::uint32_t>(i), logN_);
+        fwdTwiddles_[i] = ShoupMul(powMod(psi_, e, q), q);
+        invTwiddles_[i] = ShoupMul(powMod(psi_inv, e, q), q);
+    }
+    nInv_ = ShoupMul(invMod(static_cast<u64>(n), q), q);
+}
+
+void
+NttTables::forward(u64 *a) const
+{
+    // Merged negacyclic Cooley-Tukey: twiddle index walks the
+    // bit-reversed psi powers, so no separate psi^i pre-scaling pass.
+    const u64 q = q_;
+    std::size_t t = n_;
+    for (std::size_t m = 1; m < n_; m <<= 1) {
+        t >>= 1;
+        for (std::size_t i = 0; i < m; ++i) {
+            const std::size_t j1 = 2 * i * t;
+            const ShoupMul &w = fwdTwiddles_[m + i];
+            for (std::size_t j = j1; j < j1 + t; ++j) {
+                const u64 u = a[j];
+                const u64 v = w.mul(a[j + t], q);
+                a[j] = addMod(u, v, q);
+                a[j + t] = subMod(u, v, q);
+            }
+        }
+    }
+}
+
+void
+NttTables::inverse(u64 *a) const
+{
+    const u64 q = q_;
+    std::size_t t = 1;
+    for (std::size_t m = n_; m > 1; m >>= 1) {
+        const std::size_t h = m >> 1;
+        std::size_t j1 = 0;
+        for (std::size_t i = 0; i < h; ++i) {
+            const ShoupMul &w = invTwiddles_[h + i];
+            for (std::size_t j = j1; j < j1 + t; ++j) {
+                const u64 u = a[j];
+                const u64 v = a[j + t];
+                a[j] = addMod(u, v, q);
+                a[j + t] = w.mul(subMod(u, v, q), q);
+            }
+            j1 += 2 * t;
+        }
+        t <<= 1;
+    }
+    for (std::size_t i = 0; i < n_; ++i)
+        a[i] = nInv_.mul(a[i], q);
+}
+
+} // namespace cl

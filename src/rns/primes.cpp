@@ -1,0 +1,93 @@
+#include "primes.h"
+
+namespace cl {
+
+bool
+isPrime(u64 q)
+{
+    if (q < 2)
+        return false;
+    for (u64 p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                  23ULL, 29ULL, 31ULL, 37ULL}) {
+        if (q % p == 0)
+            return q == p;
+    }
+    // Deterministic Miller-Rabin bases for q < 2^64.
+    u64 d = q - 1;
+    unsigned r = 0;
+    while ((d & 1) == 0) {
+        d >>= 1;
+        ++r;
+    }
+    for (u64 a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                  23ULL, 29ULL, 31ULL, 37ULL}) {
+        u64 x = powMod(a % q, d, q);
+        if (x == 1 || x == q - 1)
+            continue;
+        bool witness = true;
+        for (unsigned i = 1; i < r; ++i) {
+            x = mulMod(x, x, q);
+            if (x == q - 1) {
+                witness = false;
+                break;
+            }
+        }
+        if (witness)
+            return false;
+    }
+    return true;
+}
+
+std::vector<u64>
+generateNttPrimes(unsigned bits, std::size_t n, std::size_t count)
+{
+    CL_ASSERT(bits >= 10 && bits <= 62, "bits=", bits);
+    CL_ASSERT(isPowerOfTwo(n), "N must be a power of two, got ", n);
+    const u64 step = 2 * static_cast<u64>(n);
+    const u64 hi = 1ULL << bits;
+    const u64 lo = 1ULL << (bits - 1);
+
+    std::vector<u64> primes;
+    // Largest candidate ≡ 1 mod 2N below 2^bits.
+    u64 q = ((hi - 2) / step) * step + 1;
+    for (; q > lo && primes.size() < count; q -= step) {
+        if (isPrime(q))
+            primes.push_back(q);
+    }
+    if (primes.size() < count) {
+        CL_FATAL("only ", primes.size(), " NTT-friendly ", bits,
+                 "-bit primes exist for N=", n, ", need ", count);
+    }
+    return primes;
+}
+
+std::size_t
+countNttPrimes(unsigned bits, std::size_t n)
+{
+    const u64 step = 2 * static_cast<u64>(n);
+    const u64 hi = 1ULL << bits;
+    const u64 lo = 1ULL << (bits - 1);
+    std::size_t cnt = 0;
+    u64 q = ((hi - 2) / step) * step + 1;
+    for (; q > lo; q -= step) {
+        if (isPrime(q))
+            ++cnt;
+    }
+    return cnt;
+}
+
+u64
+findPrimitiveRoot(u64 q, std::size_t two_n)
+{
+    CL_ASSERT((q - 1) % two_n == 0, "q=", q, " not 1 mod ", two_n);
+    const u64 cofactor = (q - 1) / two_n;
+    for (u64 g = 2; g < q; ++g) {
+        u64 cand = powMod(g, cofactor, q);
+        // cand has order dividing 2N; it is primitive iff cand^(N) != 1.
+        if (powMod(cand, two_n / 2, q) != 1)
+            return cand;
+    }
+    CL_PANIC("no primitive root found for q=", q);
+}
+
+} // namespace cl

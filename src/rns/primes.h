@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Generation of NTT-friendly RNS primes: primes q with q ≡ 1 (mod 2N)
+ * so that the negacyclic NTT of length N exists modulo q. CraterLake
+ * needs up to 2·L_max = 120 such 28-bit primes (Sec 5.5); the paper
+ * notes 28 bits is the narrowest width for which enough primes exist.
+ */
+
+#ifndef CL_RNS_PRIMES_H
+#define CL_RNS_PRIMES_H
+
+#include <cstdint>
+#include <vector>
+
+#include "rns/modarith.h"
+
+namespace cl {
+
+/** Deterministic Miller-Rabin primality test, exact for q < 2^64. */
+bool isPrime(u64 q);
+
+/**
+ * Generate @p count NTT-friendly primes of exactly @p bits bits
+ * (i.e., in [2^(bits-1), 2^bits)) congruent to 1 mod 2N, descending
+ * from the top of the range.
+ *
+ * @param bits Prime width in bits (e.g., 28 for the hardware width).
+ * @param n Ring degree N; primes satisfy q ≡ 1 (mod 2N).
+ * @param count Number of primes requested.
+ * @return The primes, largest first. Fatal if not enough exist.
+ */
+std::vector<u64> generateNttPrimes(unsigned bits, std::size_t n,
+                                   std::size_t count);
+
+/** Count all NTT-friendly primes of width @p bits for ring degree n. */
+std::size_t countNttPrimes(unsigned bits, std::size_t n);
+
+/** Find a primitive 2N-th root of unity modulo prime q (q ≡ 1 mod 2N). */
+u64 findPrimitiveRoot(u64 q, std::size_t two_n);
+
+} // namespace cl
+
+#endif // CL_RNS_PRIMES_H

@@ -1,0 +1,305 @@
+#include "simulator.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <set>
+
+namespace cl {
+
+namespace {
+
+constexpr std::uint32_t noUse = std::numeric_limits<std::uint32_t>::max();
+
+/** A pool of identical units with per-unit busy-until times. */
+class UnitPool
+{
+  public:
+    explicit UnitPool(unsigned count) : freeAt_(count, 0) {}
+
+    unsigned count() const { return static_cast<unsigned>(freeAt_.size()); }
+
+    /** Earliest time >= ready at which @p k units are simultaneously
+     *  free (unit availability is monotonic, so the k-th smallest
+     *  free time works). */
+    std::uint64_t
+    earliest(unsigned k, std::uint64_t ready) const
+    {
+        CL_ASSERT(k <= freeAt_.size(), "pool oversubscribed: need ", k,
+                  " of ", freeAt_.size());
+        if (k == 0)
+            return ready;
+        std::vector<std::uint64_t> sorted(freeAt_);
+        std::nth_element(sorted.begin(), sorted.begin() + (k - 1),
+                         sorted.end());
+        return std::max(ready, sorted[k - 1]);
+    }
+
+    /** Occupy @p k units from @p start for @p duration cycles. */
+    void
+    acquire(unsigned k, std::uint64_t start, std::uint64_t duration)
+    {
+        // Take the k units with the earliest free times.
+        std::vector<std::size_t> order(freeAt_.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(), [&](auto a, auto b) {
+            return freeAt_[a] < freeAt_[b];
+        });
+        for (unsigned i = 0; i < k; ++i) {
+            CL_ASSERT(freeAt_[order[i]] <= start, "unit busy at acquire");
+            freeAt_[order[i]] = start + duration;
+        }
+    }
+
+  private:
+    std::vector<std::uint64_t> freeAt_;
+};
+
+} // namespace
+
+SimStats
+Simulator::run(const Program &prog)
+{
+    SimStats stats;
+
+    // --- Resource pools ---
+    std::array<std::unique_ptr<UnitPool>, numFuTypes> fuPools;
+    for (unsigned t = 0; t < numFuTypes; ++t) {
+        fuPools[t] = std::make_unique<UnitPool>(
+            std::max(1u, cfg_.fuCount(static_cast<FuType>(t))));
+    }
+    UnitPool ports(cfg_.rfPorts);
+
+    // Network: bandwidth-limited single resource.
+    std::uint64_t networkFreeAt = 0;
+    const double net_bw = cfg_.networkWordsPerCycle();
+    const double net_traffic_scale =
+        cfg_.network == NetworkType::Crossbar ? 2.4 : 1.0;
+
+    // Memory channel: decoupled timeline (Sec 4.1: decoupled data
+    // orchestration — transfers run ahead of compute).
+    std::uint64_t memFreeAt = 0;
+    const double mem_bw = cfg_.memWordsPerCycle();
+
+    // --- Register-file residency with Belady MIN eviction (Sec 6) ---
+    const std::uint64_t capacity = cfg_.rfWords();
+    std::uint64_t used = 0;
+    struct Resident
+    {
+        bool resident = false;
+        std::uint64_t readyAt = 0;
+        bool dirty = false;  ///< On-chip-produced; eviction spills it.
+        std::size_t usePtr = 0; ///< Next index into consumers.
+    };
+    std::vector<Resident> res(prog.values.size());
+
+    auto next_use = [&](std::uint32_t vid) -> std::uint32_t {
+        const auto &v = prog.values[vid];
+        const auto &r = res[vid];
+        return r.usePtr < v.consumers.size() ? v.consumers[r.usePtr]
+                                             : noUse;
+    };
+
+    // Resident values ordered by next use (latest use = best victim).
+    std::set<std::pair<std::uint32_t, std::uint32_t>> byUse;
+
+    auto resident_insert = [&](std::uint32_t vid) {
+        byUse.emplace(next_use(vid), vid);
+    };
+    auto resident_erase = [&](std::uint32_t vid, std::uint32_t old_use) {
+        byUse.erase({old_use, vid});
+    };
+
+    auto account_load = [&](const Value &v) {
+        switch (v.kind) {
+          case ValueKind::KeySwitchHint:
+            stats.kshLoadWords += v.words;
+            break;
+          case ValueKind::Input:
+            stats.inputLoadWords += v.words;
+            break;
+          case ValueKind::Plaintext:
+            stats.plainLoadWords += v.words;
+            break;
+          default:
+            stats.intermLoadWords += v.words;
+            break;
+        }
+    };
+
+    // Evict furthest-next-use resident values until `need` words fit.
+    // Returns false when nothing evictable remains (the instruction's
+    // working set exceeds the register file — operands then stream
+    // from memory, the regime small register files fall into, Fig 11).
+    auto make_room = [&](std::uint64_t need,
+                         const std::vector<std::uint32_t> &pinned) {
+        while (used + need > capacity) {
+            // Walk from the furthest next use down, skipping pinned.
+            auto it = byUse.rbegin();
+            while (it != byUse.rend() &&
+                   std::find(pinned.begin(), pinned.end(), it->second) !=
+                       pinned.end())
+                ++it;
+            if (it == byUse.rend())
+                return false;
+            const std::uint32_t victim = it->second;
+            const std::uint32_t victim_use = it->first;
+            const Value &v = prog.values[victim];
+            if (res[victim].dirty && victim_use != noUse) {
+                // Spill a still-live intermediate.
+                stats.intermStoreWords += v.words;
+                const std::uint64_t dur =
+                    static_cast<std::uint64_t>(v.words / mem_bw) + 1;
+                memFreeAt += dur;
+                stats.memBusyCycles += dur;
+            }
+            resident_erase(victim, victim_use);
+            res[victim].resident = false;
+            res[victim].dirty = false;
+            used -= v.words;
+        }
+        return true;
+    };
+
+    // Ensure a value is (or will be) resident; returns its ready time.
+    auto ensure_resident = [&](std::uint32_t vid,
+                               const std::vector<std::uint32_t> &pinned)
+        -> std::uint64_t {
+        Resident &r = res[vid];
+        const Value &v = prog.values[vid];
+        if (r.resident)
+            return r.readyAt;
+        const bool fits = make_room(v.words, pinned);
+        account_load(v);
+        const std::uint64_t dur =
+            static_cast<std::uint64_t>(v.words / mem_bw) + 1;
+        memFreeAt += dur;
+        stats.memBusyCycles += dur;
+        if (fits) {
+            r.resident = true;
+            r.readyAt = memFreeAt;
+            r.dirty = false;
+            used += v.words;
+            resident_insert(vid);
+            return r.readyAt;
+        }
+        // Streamed: consumed directly from the memory interface;
+        // future uses reload.
+        return memFreeAt;
+    };
+
+    // --- Main in-order issue loop ---
+    std::uint64_t prev_issue = 0;
+    std::uint64_t last_finish = 0;
+
+    for (const PolyInst &inst : prog.insts) {
+        std::uint64_t ready = prev_issue;
+
+        // Pin everything this instruction touches.
+        std::vector<std::uint32_t> pinned = inst.reads;
+        pinned.insert(pinned.end(), inst.writes.begin(), inst.writes.end());
+
+        // Operand residency (prefetched on the memory timeline).
+        for (std::uint32_t vid : inst.reads)
+            ready = std::max(ready, ensure_resident(vid, pinned));
+
+        // Space for results.
+        for (std::uint32_t vid : inst.writes) {
+            if (!res[vid].resident) {
+                if (make_room(prog.values[vid].words, pinned)) {
+                    res[vid].resident = true;
+                    used += prog.values[vid].words;
+                    resident_insert(vid);
+                } else {
+                    // Result streams straight back to memory.
+                    stats.intermStoreWords += prog.values[vid].words;
+                    const std::uint64_t dur = static_cast<std::uint64_t>(
+                                                  prog.values[vid].words /
+                                                  mem_bw) + 1;
+                    memFreeAt += dur;
+                    stats.memBusyCycles += dur;
+                }
+            }
+        }
+
+        // Resource acquisition.
+        std::uint64_t start = ready;
+        for (const FuUse &use : inst.fus) {
+            auto &pool = *fuPools[static_cast<unsigned>(use.type)];
+            CL_ASSERT(cfg_.fuCount(use.type) > 0, "inst ", inst.id, " (",
+                      inst.mnemonic, ") needs absent FU ",
+                      fuTypeName(use.type));
+            start = std::max(start, pool.earliest(use.units, start));
+        }
+        start = std::max(start, ports.earliest(inst.rfPorts, start));
+
+        std::uint64_t net_cycles = 0;
+        if (inst.networkWords > 0) {
+            net_cycles = static_cast<std::uint64_t>(
+                             inst.networkWords * net_traffic_scale /
+                             net_bw) + 1;
+            start = std::max(start, networkFreeAt);
+        }
+
+        const std::uint64_t finish = start + inst.duration;
+
+        for (const FuUse &use : inst.fus) {
+            auto &pool = *fuPools[static_cast<unsigned>(use.type)];
+            pool.acquire(use.units, start, inst.duration);
+            stats.fuBusy[static_cast<unsigned>(use.type)] +=
+                use.units * inst.duration;
+            stats.fuLaneOps[static_cast<unsigned>(use.type)] += use.laneOps;
+        }
+        ports.acquire(inst.rfPorts, start, inst.duration);
+        if (inst.networkWords > 0) {
+            networkFreeAt = start + std::max(net_cycles, inst.duration);
+            stats.networkWords += static_cast<std::uint64_t>(
+                inst.networkWords * net_traffic_scale);
+        }
+        stats.rfAccessWords += inst.rfWords;
+
+        // Retire: mark writes available, advance read-use pointers.
+        for (std::uint32_t vid : inst.writes) {
+            res[vid].readyAt = finish;
+            res[vid].dirty =
+                prog.values[vid].kind == ValueKind::Intermediate;
+            if (prog.values[vid].kind == ValueKind::Output) {
+                // Stream results straight out (Sec 7: bulk transfers).
+                stats.outputStoreWords += prog.values[vid].words;
+                const std::uint64_t dur = static_cast<std::uint64_t>(
+                                              prog.values[vid].words /
+                                              mem_bw) + 1;
+                memFreeAt = std::max(memFreeAt, finish) + dur;
+                stats.memBusyCycles += dur;
+            }
+        }
+        for (std::uint32_t vid : inst.reads) {
+            Resident &r = res[vid];
+            if (!r.resident)
+                continue; // duplicate operand already retired
+            const std::uint32_t old_use = next_use(vid);
+            const auto &cons = prog.values[vid].consumers;
+            while (r.usePtr < cons.size() && cons[r.usePtr] <= inst.id)
+                ++r.usePtr;
+            resident_erase(vid, old_use);
+            if (r.usePtr >= cons.size() &&
+                prog.values[vid].kind == ValueKind::Intermediate) {
+                // Dead: free without writeback.
+                r.resident = false;
+                r.dirty = false;
+                used -= prog.values[vid].words;
+            } else {
+                resident_insert(vid);
+            }
+        }
+
+        prev_issue = start;
+        last_finish = std::max(last_finish, finish);
+    }
+
+    stats.cycles = std::max(last_finish, memFreeAt);
+    return stats;
+}
+
+} // namespace cl

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Cycle-level simulator for the statically scheduled accelerator.
+ *
+ * Models (Sec 4, Sec 8):
+ *  - in-order issue of the compiler's instruction stream;
+ *  - per-class FU pools with full pipelining (one vector element per
+ *    lane per cycle) and multi-FU occupancy for chained pipelines;
+ *  - the banked register file as a pool of effective ports;
+ *  - the inter-lane-group network as a bandwidth-limited resource
+ *    (fixed permutation network, or the crossbar ablation with the
+ *    2.4x traffic of residue-polynomial tiling, Sec 4.3);
+ *  - HBM with decoupled data orchestration: loads are prefetched on
+ *    an independent memory timeline, and on-chip residency is managed
+ *    with Belady's MIN eviction using the static schedule's future
+ *    use information (Sec 6).
+ */
+
+#ifndef CL_SIM_SIMULATOR_H
+#define CL_SIM_SIMULATOR_H
+
+#include "isa/program.h"
+#include "sim/stats.h"
+
+namespace cl {
+
+class Simulator
+{
+  public:
+    explicit Simulator(ChipConfig cfg) : cfg_(std::move(cfg)) {}
+
+    /** Execute a program, returning its statistics. */
+    SimStats run(const Program &prog);
+
+  private:
+    ChipConfig cfg_;
+};
+
+} // namespace cl
+
+#endif // CL_SIM_SIMULATOR_H

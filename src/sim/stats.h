@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Simulation statistics: cycles, per-FU utilization, memory traffic
+ * by category (Fig 10a), and activity-based energy (Fig 10b).
+ */
+
+#ifndef CL_SIM_STATS_H
+#define CL_SIM_STATS_H
+
+#include <array>
+#include <cstdint>
+
+#include "hw/energy.h"
+
+namespace cl {
+
+struct SimStats
+{
+    std::uint64_t cycles = 0;
+
+    /** Busy unit-cycles per FU class. */
+    std::array<std::uint64_t, numFuTypes> fuBusy{};
+    /** Scalar lane operations per FU class. */
+    std::array<std::uint64_t, numFuTypes> fuLaneOps{};
+
+    std::uint64_t memBusyCycles = 0;
+
+    // Off-chip traffic in words (Fig 10a categories).
+    std::uint64_t kshLoadWords = 0;
+    std::uint64_t inputLoadWords = 0;
+    std::uint64_t plainLoadWords = 0;
+    std::uint64_t intermLoadWords = 0;
+    std::uint64_t intermStoreWords = 0;
+    std::uint64_t outputStoreWords = 0;
+
+    std::uint64_t rfAccessWords = 0;
+    std::uint64_t networkWords = 0;
+
+    std::uint64_t
+    totalTrafficWords() const
+    {
+        return kshLoadWords + inputLoadWords + plainLoadWords +
+               intermLoadWords + intermStoreWords + outputStoreWords;
+    }
+
+    /** Wall-clock seconds at the configuration's frequency. */
+    double
+    seconds(const ChipConfig &cfg) const
+    {
+        return static_cast<double>(cycles) / (cfg.freqGhz * 1e9);
+    }
+
+    /**
+     * Average FU utilization: fraction of cycles FUs consume inputs,
+     * averaged across all FU instances (Fig 9's definition).
+     */
+    double
+    fuUtilization(const ChipConfig &cfg) const
+    {
+        std::uint64_t busy = 0;
+        unsigned units = 0;
+        for (unsigned t = 0; t < numFuTypes; ++t) {
+            if (static_cast<FuType>(t) == FuType::Transpose)
+                continue;
+            busy += fuBusy[t];
+            units += cfg.fuCount(static_cast<FuType>(t));
+        }
+        if (cycles == 0 || units == 0)
+            return 0;
+        return static_cast<double>(busy) /
+               (static_cast<double>(cycles) * units);
+    }
+
+    /** Fraction of cycles the memory channel is active. */
+    double
+    memUtilization() const
+    {
+        return cycles ? static_cast<double>(memBusyCycles) / cycles : 0;
+    }
+
+    /** Activity-based energy breakdown. */
+    EnergyBreakdown
+    energy(const ChipConfig &cfg, const EnergyParams &p = {}) const
+    {
+        EnergyBreakdown e;
+        for (unsigned t = 0; t < numFuTypes; ++t) {
+            if (static_cast<FuType>(t) == FuType::Transpose)
+                continue;
+            e.funcUnits += fuLaneOps[t] *
+                           fuEnergyPerLaneOp(p, static_cast<FuType>(t)) *
+                           1e-12;
+        }
+        e.registerFile = rfAccessWords * p.rfAccessWord * 1e-12;
+        e.network = networkWords * p.networkWord * 1e-12;
+        e.hbm = totalTrafficWords() * p.hbmWord * 1e-12;
+        e.staticEnergy = p.staticWatts * seconds(cfg);
+        return e;
+    }
+
+    /** Average power in watts. */
+    double
+    avgPowerWatts(const ChipConfig &cfg, const EnergyParams &p = {}) const
+    {
+        const double s = seconds(cfg);
+        return s > 0 ? energy(cfg, p).total() / s : 0;
+    }
+};
+
+} // namespace cl
+
+#endif // CL_SIM_STATS_H

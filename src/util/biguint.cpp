@@ -1,0 +1,172 @@
+#include "biguint.h"
+
+#include <cmath>
+
+#include "common.h"
+
+namespace cl {
+
+using u128 = unsigned __int128;
+
+BigUint::BigUint(std::uint64_t v)
+{
+    if (v)
+        limbs_.push_back(v);
+}
+
+BigUint
+BigUint::product(const std::vector<std::uint64_t> &factors)
+{
+    BigUint r(1);
+    for (std::uint64_t f : factors)
+        r.mulU64(f);
+    return r;
+}
+
+void
+BigUint::trim()
+{
+    while (!limbs_.empty() && limbs_.back() == 0)
+        limbs_.pop_back();
+}
+
+BigUint &
+BigUint::operator+=(const BigUint &other)
+{
+    const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+    limbs_.resize(n, 0);
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        u128 s = (u128)limbs_[i] + carry;
+        if (i < other.limbs_.size())
+            s += other.limbs_[i];
+        limbs_[i] = static_cast<std::uint64_t>(s);
+        carry = static_cast<std::uint64_t>(s >> 64);
+    }
+    if (carry)
+        limbs_.push_back(carry);
+    return *this;
+}
+
+BigUint &
+BigUint::operator-=(const BigUint &other)
+{
+    CL_ASSERT(*this >= other, "BigUint underflow");
+    std::uint64_t borrow = 0;
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        u128 lhs = limbs_[i];
+        u128 rhs = borrow;
+        if (i < other.limbs_.size())
+            rhs += other.limbs_[i];
+        if (lhs >= rhs) {
+            limbs_[i] = static_cast<std::uint64_t>(lhs - rhs);
+            borrow = 0;
+        } else {
+            limbs_[i] =
+                static_cast<std::uint64_t>(((u128)1 << 64) + lhs - rhs);
+            borrow = 1;
+        }
+    }
+    CL_ASSERT(borrow == 0, "BigUint underflow");
+    trim();
+    return *this;
+}
+
+BigUint &
+BigUint::mulU64(std::uint64_t m)
+{
+    if (m == 0 || isZero()) {
+        limbs_.clear();
+        return *this;
+    }
+    std::uint64_t carry = 0;
+    for (auto &limb : limbs_) {
+        u128 p = (u128)limb * m + carry;
+        limb = static_cast<std::uint64_t>(p);
+        carry = static_cast<std::uint64_t>(p >> 64);
+    }
+    if (carry)
+        limbs_.push_back(carry);
+    return *this;
+}
+
+BigUint &
+BigUint::addU64(std::uint64_t v)
+{
+    BigUint b(v);
+    return *this += b;
+}
+
+int
+BigUint::compare(const BigUint &other) const
+{
+    if (limbs_.size() != other.limbs_.size())
+        return limbs_.size() < other.limbs_.size() ? -1 : 1;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        if (limbs_[i] != other.limbs_[i])
+            return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+std::uint64_t
+BigUint::modU64(std::uint64_t m) const
+{
+    CL_ASSERT(m != 0);
+    u128 r = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;)
+        r = ((r << 64) | limbs_[i]) % m;
+    return static_cast<std::uint64_t>(r);
+}
+
+int
+BigUint::log2Floor() const
+{
+    if (isZero())
+        return -1;
+    const std::uint64_t top = limbs_.back();
+    return static_cast<int>(limbs_.size() - 1) * 64 + 63 -
+           __builtin_clzll(top);
+}
+
+double
+BigUint::bitLength() const
+{
+    if (isZero())
+        return 0.0;
+    // Use the top two limbs for a fractional log2.
+    const std::size_t k = limbs_.size();
+    double top = static_cast<double>(limbs_.back());
+    if (k >= 2)
+        top += static_cast<double>(limbs_[k - 2]) * 0x1.0p-64;
+    return std::log2(top) + 64.0 * static_cast<double>(k - 1);
+}
+
+double
+BigUint::toDouble() const
+{
+    double v = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;)
+        v = v * 0x1.0p64 + static_cast<double>(limbs_[i]);
+    return v;
+}
+
+std::string
+BigUint::toHex() const
+{
+    if (isZero())
+        return "0x0";
+    std::string s = "0x";
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%llx",
+                  static_cast<unsigned long long>(limbs_.back()));
+    s += buf;
+    for (std::size_t i = limbs_.size() - 1; i-- > 0;) {
+        std::snprintf(buf, sizeof(buf), "%016llx",
+                      static_cast<unsigned long long>(limbs_[i]));
+        s += buf;
+    }
+    return s;
+}
+
+} // namespace cl

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal arbitrary-precision unsigned integer.
+ *
+ * The RNS representation keeps all hot-path arithmetic word-sized
+ * (Sec 2.4), but a few setup-time constants are integers modulo the
+ * full ciphertext modulus Q (products of up to ~120 primes): the
+ * per-digit keyswitch-hint factors and CRT reconstructions used by
+ * tests. This class supports exactly the operations those need.
+ */
+
+#ifndef CL_UTIL_BIGUINT_H
+#define CL_UTIL_BIGUINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cl {
+
+class BigUint
+{
+  public:
+    BigUint() = default;
+    explicit BigUint(std::uint64_t v);
+
+    /** Product of the given factors. */
+    static BigUint product(const std::vector<std::uint64_t> &factors);
+
+    bool isZero() const { return limbs_.empty(); }
+
+    BigUint &operator+=(const BigUint &other);
+    BigUint &operator-=(const BigUint &other); ///< Requires *this >= other.
+    BigUint &mulU64(std::uint64_t m);
+    BigUint &addU64(std::uint64_t v);
+
+    /** Three-way comparison. */
+    int compare(const BigUint &other) const;
+    bool operator<(const BigUint &o) const { return compare(o) < 0; }
+    bool operator>=(const BigUint &o) const { return compare(o) >= 0; }
+    bool operator==(const BigUint &o) const { return compare(o) == 0; }
+
+    /** Remainder modulo a word-sized modulus (m < 2^63). */
+    std::uint64_t modU64(std::uint64_t m) const;
+
+    /** Floor of log2; -inf represented as -1 for zero. */
+    int log2Floor() const;
+
+    /** Bit length as a real number (log2 with fractional part). */
+    double bitLength() const;
+
+    /** Nearest double (loses precision past 53 bits, as expected). */
+    double toDouble() const;
+
+    /** Decimal-free hex rendering for diagnostics. */
+    std::string toHex() const;
+
+  private:
+    void trim();
+
+    std::vector<std::uint64_t> limbs_; // little-endian, no trailing zeros
+};
+
+} // namespace cl
+
+#endif // CL_UTIL_BIGUINT_H

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Common error-handling and status-message helpers, in the spirit of
+ * gem5's logging.hh: panic() for internal invariant violations, fatal()
+ * for unusable user configuration, warn()/inform() for status.
+ */
+
+#ifndef CL_UTIL_COMMON_H
+#define CL_UTIL_COMMON_H
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace cl {
+
+namespace detail {
+
+[[noreturn]] inline void
+abortWith(const char *kind, const std::string &msg, const char *file,
+          int line)
+{
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", kind, msg.c_str(), file, line);
+    std::abort();
+}
+
+template <typename... Args>
+std::string
+formatMsg(Args &&...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return {};
+    } else {
+        std::ostringstream oss;
+        (oss << ... << args);
+        return oss.str();
+    }
+}
+
+} // namespace detail
+
+/** Abort due to an internal bug: a condition that should never happen. */
+#define CL_PANIC(...)                                                        \
+    ::cl::detail::abortWith("panic", ::cl::detail::formatMsg(__VA_ARGS__),   \
+                            __FILE__, __LINE__)
+
+/** Abort due to an unusable configuration supplied by the caller. */
+#define CL_FATAL(...)                                                        \
+    ::cl::detail::abortWith("fatal", ::cl::detail::formatMsg(__VA_ARGS__),   \
+                            __FILE__, __LINE__)
+
+/** Invariant check; active in all build types (models are cheap to check). */
+#define CL_ASSERT(cond, ...)                                                 \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::cl::detail::abortWith(                                         \
+                "assert(" #cond ")",                                         \
+                ::cl::detail::formatMsg(__VA_ARGS__), __FILE__, __LINE__);   \
+        }                                                                    \
+    } while (0)
+
+/** Non-fatal warning to stderr. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Informational status message to stderr. */
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+/** Integer ceil-division for non-negative operands. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** True iff @p x is a power of two (and nonzero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Log base 2 of a power of two. */
+constexpr unsigned
+log2Exact(std::uint64_t x)
+{
+    unsigned l = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++l;
+    }
+    return l;
+}
+
+} // namespace cl
+
+#endif // CL_UTIL_COMMON_H

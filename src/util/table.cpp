@@ -1,0 +1,92 @@
+#include "table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common.h"
+
+namespace cl {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    CL_ASSERT(!header_.empty());
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    CL_ASSERT(row.size() == header_.size(), "row width ", row.size(),
+              " != header width ", header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back(); // sentinel
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](std::ostringstream &oss,
+                        const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            oss << row[c];
+            if (c + 1 < row.size())
+                oss << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        oss << '\n';
+    };
+
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+
+    std::ostringstream oss;
+    emit_row(oss, header_);
+    oss << std::string(total, '-') << '\n';
+    for (const auto &row : rows_) {
+        if (row.empty())
+            oss << std::string(total, '-') << '\n';
+        else
+            emit_row(oss, row);
+    }
+    return oss.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::speedup(double v, int precision)
+{
+    char buf[64];
+    if (v >= 100)
+        std::snprintf(buf, sizeof(buf), "%.0fx", v);
+    else
+        std::snprintf(buf, sizeof(buf), "%.*fx", precision, v);
+    return buf;
+}
+
+} // namespace cl

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal aligned-text table printer used by the benchmark harnesses
+ * to render paper tables next to measured results.
+ */
+
+#ifndef CL_UTIL_TABLE_H
+#define CL_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace cl {
+
+/** Column-aligned console table with a header row and separator. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Insert a horizontal separator before the next row. */
+    void addSeparator();
+
+    /** Render to a string with 2-space column gaps. */
+    std::string render() const;
+
+    /** Render and print to stdout. */
+    void print() const;
+
+    /** Format a double with @p precision fractional digits. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format as "x.yz×" speedup notation. */
+    static std::string speedup(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_; // empty row == separator
+};
+
+} // namespace cl
+
+#endif // CL_UTIL_TABLE_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Generators for the paper's benchmark suite (Sec 8): four deep
+ * programs (ResNet-20, LSTM, HELR logistic regression, fully-packed
+ * bootstrapping) and four shallow ones (unpacked bootstrapping and
+ * the three LoLa networks), plus the synthetic programs of Fig 3.
+ *
+ * The generators reconstruct each benchmark's homomorphic-operation
+ * structure from the paper's description: packing strategy, matrix
+ * sizes, activation depths, and bootstrap placement. Level counting
+ * is in 28-bit primes (two per multiplication at a 2^56 scale).
+ */
+
+#ifndef CL_WORKLOADS_BENCHMARKS_H
+#define CL_WORKLOADS_BENCHMARKS_H
+
+#include "compiler/homprogram.h"
+
+namespace cl {
+
+/** Security presets matching Sec 8 / Sec 9.4. */
+struct SecurityConfig
+{
+    std::string name = "80-bit";
+    unsigned logN = 16;
+    unsigned lMax = 57;        ///< Usable chain depth after bootstrap.
+    unsigned usableLevels = 22;///< Levels left for the application.
+    DigitPolicy policy = digitPolicy80();
+
+    static SecurityConfig bits80();
+    static SecurityConfig bits128();
+    static SecurityConfig bits200();
+};
+
+/** Fully-packed bootstrapping: L=3 in, refresh to 57, usable 22. */
+HomProgram packedBootstrapping(const SecurityConfig &sec =
+                                   SecurityConfig::bits80());
+
+/** Unpacked (single-slot) bootstrapping, L <= 23 (the F1 benchmark). */
+HomProgram unpackedBootstrapping();
+
+/**
+ * LSTM NLP benchmark [57]: h_{i+1} = sigma(W0 h_i + W1 x_i) with
+ * 128x128 matrix-vector multiplies and a degree-3 activation;
+ * 50 bootstrappings per inference at the default 150 time steps.
+ */
+HomProgram lstm(const SecurityConfig &sec = SecurityConfig::bits80(),
+                unsigned steps = 50);
+
+/**
+ * ResNet-20 inference on one encrypted image [48], modified per
+ * Sec 8 to pack all channels into one ciphertext before
+ * bootstrapping. Polynomial ReLU of multiplicative depth 12.
+ */
+HomProgram resnet20(const SecurityConfig &sec = SecurityConfig::bits80());
+
+/**
+ * HELR logistic-regression training [36]: 256 features, 256 samples
+ * per batch, starting depth L=38, multiple iterations with
+ * bootstrapping (unlike F1's single-iteration variant).
+ */
+HomProgram logisticRegression(const SecurityConfig &sec =
+                                  SecurityConfig::bits80(),
+                              unsigned iterations = 60);
+
+/** LoLa-MNIST [13], unencrypted or encrypted weights; N=16K, L<=8. */
+HomProgram lolaMnist(bool encrypted_weights);
+
+/** LoLa-CIFAR with unencrypted weights [13]; 6 layers, N=16K, L=8. */
+HomProgram lolaCifar();
+
+/** Fig 3 synthetic: serial multiplication chain of given depth with
+ *  bootstraps whenever the budget (lMax - bootLevels) runs out. */
+HomProgram multiplicationChain(unsigned l_max, unsigned depth);
+
+/** Fig 3 synthetic: `width` multiplies per level converging to one
+ *  output after each level. */
+HomProgram wideMultiplyGraph(unsigned l_max, unsigned depth,
+                             unsigned width);
+
+/** All eight Sec 8 benchmarks with their display names. */
+struct NamedProgram
+{
+    std::string name;
+    HomProgram prog;
+    bool deep;
+};
+std::vector<NamedProgram> benchmarkSuite(
+    const SecurityConfig &sec = SecurityConfig::bits80());
+
+} // namespace cl
+
+#endif // CL_WORKLOADS_BENCHMARKS_H

@@ -1,0 +1,147 @@
+/** Tests for the CKKS canonical-embedding encoder. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ckks/encoder.h"
+#include "util/prng.h"
+
+namespace cl {
+namespace {
+
+class EncoderTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ctx_ = std::make_unique<CkksContext>(CkksParams::testSmall());
+        enc_ = std::make_unique<CkksEncoder>(*ctx_);
+    }
+
+    std::vector<Complex>
+    randomValues(std::size_t count, std::uint64_t seed)
+    {
+        FastRng rng(seed);
+        std::vector<Complex> v(count);
+        for (auto &z : v)
+            z = Complex(rng.nextDouble() * 2 - 1, rng.nextDouble() * 2 - 1);
+        return v;
+    }
+
+    std::unique_ptr<CkksContext> ctx_;
+    std::unique_ptr<CkksEncoder> enc_;
+};
+
+TEST_F(EncoderTest, EncodeDecodeRoundTrip)
+{
+    auto vals = randomValues(ctx_->slots(), 1);
+    auto plain = enc_->encode(vals, ctx_->params().scale(), ctx_->l());
+    auto back = enc_->decode(plain, ctx_->params().scale());
+    ASSERT_EQ(back.size(), ctx_->slots());
+    for (std::size_t i = 0; i < vals.size(); ++i)
+        EXPECT_NEAR(std::abs(back[i] - vals[i]), 0.0, 1e-6);
+}
+
+TEST_F(EncoderTest, EncodingIsAdditive)
+{
+    auto a = randomValues(ctx_->slots(), 2);
+    auto b = randomValues(ctx_->slots(), 3);
+    const double scale = ctx_->params().scale();
+    auto pa = enc_->encode(a, scale, ctx_->l());
+    auto pb = enc_->encode(b, scale, ctx_->l());
+    pa += pb;
+    auto sum = enc_->decode(pa, scale);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(std::abs(sum[i] - (a[i] + b[i])), 0.0, 1e-5);
+}
+
+TEST_F(EncoderTest, PolynomialMultIsSlotwiseMult)
+{
+    // The defining property of the canonical embedding: ring multiply
+    // == element-wise slot multiply.
+    auto a = randomValues(ctx_->slots(), 4);
+    auto b = randomValues(ctx_->slots(), 5);
+    const double scale = ctx_->params().scale();
+    auto pa = enc_->encode(a, scale, ctx_->l());
+    auto pb = enc_->encode(b, scale, ctx_->l());
+    pa.toNtt();
+    pb.toNtt();
+    pa *= pb;
+    auto prod = enc_->decode(pa, scale * scale);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(std::abs(prod[i] - a[i] * b[i]), 0.0, 1e-4);
+}
+
+TEST_F(EncoderTest, AutomorphismRotatesSlots)
+{
+    // x -> x^5 should rotate the packed vector by one slot.
+    auto a = randomValues(ctx_->slots(), 6);
+    const double scale = ctx_->params().scale();
+    auto p = enc_->encode(a, scale, ctx_->l());
+    auto r = p.automorphism(5);
+    auto rot = enc_->decode(r, scale);
+    const std::size_t n = a.size();
+    // Determine rotation direction empirically but require it to be a
+    // rotation by exactly one position one way or the other.
+    double err_left = 0, err_right = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        err_left += std::abs(rot[i] - a[(i + 1) % n]);
+        err_right += std::abs(rot[i] - a[(i + n - 1) % n]);
+    }
+    EXPECT_LT(std::min(err_left, err_right) / n, 1e-5);
+    // Document the convention: galois element 5 = rotate left by 1.
+    EXPECT_LT(err_left, err_right);
+}
+
+TEST_F(EncoderTest, ConjugationAutomorphism)
+{
+    auto a = randomValues(ctx_->slots(), 7);
+    const double scale = ctx_->params().scale();
+    auto p = enc_->encode(a, scale, ctx_->l());
+    auto r = p.automorphism(2 * ctx_->n() - 1);
+    auto conj = enc_->decode(r, scale);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(std::abs(conj[i] - std::conj(a[i])), 0.0, 1e-5);
+}
+
+TEST_F(EncoderTest, PartialPackingReplicates)
+{
+    // Encoding fewer values packs them into a smaller orbit; decode
+    // returns the full-slot view with replication.
+    std::vector<Complex> vals = {Complex(1.5, 0), Complex(-2.25, 0),
+                                 Complex(0.5, 0), Complex(3.0, 0)};
+    const double scale = ctx_->params().scale();
+    auto p = enc_->encode(vals, scale, 1);
+    auto full = enc_->decode(p, scale);
+    const std::size_t reps = ctx_->slots() / 4;
+    for (std::size_t r = 0; r < reps; ++r) {
+        for (std::size_t i = 0; i < 4; ++i) {
+            EXPECT_NEAR(std::abs(full[r * 4 + i] - vals[i]), 0.0, 1e-5)
+                << "replica " << r << " slot " << i;
+        }
+    }
+}
+
+TEST_F(EncoderTest, CoeffEncodeDecodeRoundTrip)
+{
+    std::vector<double> coeffs = {1.0, -2.5, 3.25, 0.0, 7.75};
+    auto p = enc_->encodeCoeffs(coeffs, 1 << 20, 2);
+    auto back = enc_->decodeCoeffs(p, 1 << 20);
+    for (std::size_t i = 0; i < coeffs.size(); ++i)
+        EXPECT_NEAR(back[i], coeffs[i], 1e-5);
+}
+
+TEST_F(EncoderTest, FftSpecialInverseIsInverse)
+{
+    auto vals = randomValues(ctx_->slots(), 8);
+    auto copy = vals;
+    enc_->fftSpecialInv(copy);
+    enc_->fftSpecial(copy);
+    for (std::size_t i = 0; i < vals.size(); ++i)
+        EXPECT_NEAR(std::abs(copy[i] - vals[i]), 0.0, 1e-9);
+}
+
+} // namespace
+} // namespace cl

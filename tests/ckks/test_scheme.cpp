@@ -1,0 +1,252 @@
+/** End-to-end CKKS scheme tests: encrypt/evaluate/decrypt. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+
+namespace cl {
+namespace {
+
+class SchemeTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ctx_ = std::make_unique<CkksContext>(CkksParams::testSmall());
+        enc_ = std::make_unique<CkksEncoder>(*ctx_);
+        keygen_ = std::make_unique<KeyGenerator>(*ctx_);
+        pk_ = keygen_->genPublicKey();
+        encryptor_ = std::make_unique<Encryptor>(*ctx_, pk_);
+        decryptor_ =
+            std::make_unique<Decryptor>(*ctx_, keygen_->secretKey());
+        eval_ = std::make_unique<Evaluator>(*ctx_);
+    }
+
+    std::vector<Complex>
+    randomReals(std::uint64_t seed, double mag = 1.0)
+    {
+        FastRng rng(seed);
+        std::vector<Complex> v(ctx_->slots());
+        for (auto &z : v)
+            z = Complex((rng.nextDouble() * 2 - 1) * mag, 0);
+        return v;
+    }
+
+    double
+    maxError(const std::vector<Complex> &a, const std::vector<Complex> &b)
+    {
+        double m = 0;
+        for (std::size_t i = 0; i < a.size(); ++i)
+            m = std::max(m, std::abs(a[i] - b[i]));
+        return m;
+    }
+
+    std::unique_ptr<CkksContext> ctx_;
+    std::unique_ptr<CkksEncoder> enc_;
+    std::unique_ptr<KeyGenerator> keygen_;
+    PublicKey pk_;
+    std::unique_ptr<Encryptor> encryptor_;
+    std::unique_ptr<Decryptor> decryptor_;
+    std::unique_ptr<Evaluator> eval_;
+};
+
+TEST_F(SchemeTest, EncryptDecryptRoundTrip)
+{
+    auto vals = randomReals(1);
+    auto ct = encryptor_->encryptValues(*enc_, vals, ctx_->params().scale(),
+                                        ctx_->l());
+    auto back = decryptor_->decryptValues(*enc_, ct);
+    EXPECT_LT(maxError(vals, back), 1e-5);
+}
+
+TEST_F(SchemeTest, HomomorphicAddition)
+{
+    auto a = randomReals(2), b = randomReals(3);
+    const double s = ctx_->params().scale();
+    auto ca = encryptor_->encryptValues(*enc_, a, s, ctx_->l());
+    auto cb = encryptor_->encryptValues(*enc_, b, s, ctx_->l());
+    auto sum = eval_->add(ca, cb);
+    auto back = decryptor_->decryptValues(*enc_, sum);
+    std::vector<Complex> expect(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        expect[i] = a[i] + b[i];
+    EXPECT_LT(maxError(expect, back), 1e-5);
+}
+
+TEST_F(SchemeTest, HomomorphicSubtractionAndNegate)
+{
+    auto a = randomReals(4), b = randomReals(5);
+    const double s = ctx_->params().scale();
+    auto ca = encryptor_->encryptValues(*enc_, a, s, ctx_->l());
+    auto cb = encryptor_->encryptValues(*enc_, b, s, ctx_->l());
+    auto diff = eval_->sub(ca, cb);
+    auto back = decryptor_->decryptValues(*enc_, diff);
+    std::vector<Complex> expect(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        expect[i] = a[i] - b[i];
+    EXPECT_LT(maxError(expect, back), 1e-5);
+
+    auto neg = eval_->negate(ca);
+    back = decryptor_->decryptValues(*enc_, neg);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        expect[i] = -a[i];
+    EXPECT_LT(maxError(expect, back), 1e-5);
+}
+
+TEST_F(SchemeTest, PlaintextOperations)
+{
+    auto a = randomReals(6), b = randomReals(7);
+    const double s = ctx_->params().scale();
+    auto ca = encryptor_->encryptValues(*enc_, a, s, ctx_->l());
+    auto pb = enc_->encode(b, s, ctx_->l());
+
+    auto sum = eval_->addPlain(ca, pb);
+    auto back = decryptor_->decryptValues(*enc_, sum);
+    std::vector<Complex> expect(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        expect[i] = a[i] + b[i];
+    EXPECT_LT(maxError(expect, back), 1e-5);
+
+    auto prod = eval_->mulPlain(ca, pb, s);
+    eval_->rescale(prod);
+    back = decryptor_->decryptValues(*enc_, prod);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        expect[i] = a[i] * b[i];
+    EXPECT_LT(maxError(expect, back), 1e-4);
+}
+
+TEST_F(SchemeTest, ScalarMultiplication)
+{
+    auto a = randomReals(8);
+    const double s = ctx_->params().scale();
+    auto ca = encryptor_->encryptValues(*enc_, a, s, ctx_->l());
+    auto scaled = eval_->mulScalar(ca, 2.5);
+    eval_->rescale(scaled);
+    auto back = decryptor_->decryptValues(*enc_, scaled);
+    std::vector<Complex> expect(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        expect[i] = a[i] * 2.5;
+    EXPECT_LT(maxError(expect, back), 1e-4);
+}
+
+TEST_F(SchemeTest, HomomorphicMultiplication)
+{
+    auto a = randomReals(9), b = randomReals(10);
+    const double s = ctx_->params().scale();
+    auto ca = encryptor_->encryptValues(*enc_, a, s, ctx_->l());
+    auto cb = encryptor_->encryptValues(*enc_, b, s, ctx_->l());
+    auto rlk = keygen_->genRelinKey();
+    auto prod = eval_->multiply(ca, cb, rlk);
+    eval_->rescale(prod);
+    auto back = decryptor_->decryptValues(*enc_, prod);
+    std::vector<Complex> expect(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        expect[i] = a[i] * b[i];
+    EXPECT_LT(maxError(expect, back), 1e-3);
+}
+
+TEST_F(SchemeTest, MultiplicationChainToDepth)
+{
+    // Consume the whole multiplicative budget: L-1 rescales.
+    auto a = randomReals(11, 0.9);
+    const double s = ctx_->params().scale();
+    auto rlk = keygen_->genRelinKey();
+    auto ct = encryptor_->encryptValues(*enc_, a, s, ctx_->l());
+    std::vector<Complex> expect = a;
+    for (unsigned depth = 0; depth + 1 < ctx_->l(); ++depth) {
+        ct = eval_->square(ct, rlk);
+        eval_->rescale(ct);
+        for (auto &v : expect)
+            v *= v;
+    }
+    auto back = decryptor_->decryptValues(*enc_, ct);
+    EXPECT_LT(maxError(expect, back), 1e-2);
+}
+
+TEST_F(SchemeTest, RotationBySeveralSteps)
+{
+    auto a = randomReals(12);
+    const double s = ctx_->params().scale();
+    auto gk = keygen_->genRotationKeys({1, 2, 5, -1});
+    auto ct = encryptor_->encryptValues(*enc_, a, s, ctx_->l());
+    const std::size_t n = ctx_->slots();
+
+    for (int steps : {1, 2, 5, -1}) {
+        auto rot = eval_->rotate(ct, steps, gk);
+        auto back = decryptor_->decryptValues(*enc_, rot);
+        std::vector<Complex> expect(n);
+        for (std::size_t i = 0; i < n; ++i)
+            expect[i] = a[(i + n + steps) % n];
+        EXPECT_LT(maxError(expect, back), 1e-4) << "steps=" << steps;
+    }
+}
+
+TEST_F(SchemeTest, ConjugationOfComplexData)
+{
+    FastRng rng(13);
+    std::vector<Complex> a(ctx_->slots());
+    for (auto &z : a)
+        z = Complex(rng.nextDouble() - 0.5, rng.nextDouble() - 0.5);
+    const double s = ctx_->params().scale();
+    auto gk = keygen_->genRotationKeys({}, /*conjugate=*/true);
+    auto ct = encryptor_->encryptValues(*enc_, a, s, ctx_->l());
+    auto conj = eval_->conjugate(ct, gk);
+    auto back = decryptor_->decryptValues(*enc_, conj);
+    std::vector<Complex> expect(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        expect[i] = std::conj(a[i]);
+    EXPECT_LT(maxError(expect, back), 1e-4);
+}
+
+TEST_F(SchemeTest, LevelDropPreservesMessage)
+{
+    auto a = randomReals(14);
+    const double s = ctx_->params().scale();
+    auto ct = encryptor_->encryptValues(*enc_, a, s, ctx_->l());
+    eval_->levelDrop(ct, 2);
+    EXPECT_EQ(ct.level(), 2u);
+    auto back = decryptor_->decryptValues(*enc_, ct);
+    EXPECT_LT(maxError(a, back), 1e-5);
+}
+
+TEST_F(SchemeTest, ModRaisePreservesMessageModQ0)
+{
+    // After mod-raise, decryption differs from the message by a
+    // multiple of q0 per coefficient — the bootstrapping premise.
+    auto a = randomReals(15, 0.1);
+    const double s = ctx_->params().scale();
+    auto ct = encryptor_->encryptValues(*enc_, a, s, ctx_->l());
+    eval_->levelDrop(ct, 1);
+    auto raised = eval_->modRaise(ct, ctx_->l());
+    EXPECT_EQ(raised.level(), ctx_->l());
+
+    // Decrypt without decoding and reduce coefficients mod q0: they
+    // must match the level-1 decryption.
+    Decryptor dec(*ctx_, keygen_->secretKey());
+    auto m_low = dec.decrypt(ct);
+    m_low.toCoeff();
+    auto m_high = dec.decrypt(raised);
+    m_high.toCoeff();
+    const u64 q0 = ctx_->chain().modulus(0);
+    for (std::size_t i = 0; i < ctx_->n(); ++i) {
+        EXPECT_EQ(m_high.residue(0)[i] % q0, m_low.residue(0)[i] % q0);
+    }
+}
+
+TEST_F(SchemeTest, DepthExhaustionDetected)
+{
+    auto a = randomReals(16);
+    const double s = ctx_->params().scale();
+    auto ct = encryptor_->encryptValues(*enc_, a, s, ctx_->l());
+    eval_->levelDrop(ct, 1);
+    // Rescaling at level 1 must die: the budget is exhausted.
+    EXPECT_DEATH(eval_->rescale(ct), "");
+}
+
+} // namespace
+} // namespace cl

@@ -1,0 +1,184 @@
+/** Tests for the hom-op builder and lowering pass. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/lower.h"
+
+namespace cl {
+namespace {
+
+TEST(HomBuilder, LevelTracking)
+{
+    HomBuilder b("t", 12, 10);
+    auto a = b.input(10);
+    auto c = b.mul(a, a, 2);
+    EXPECT_EQ(c.level, 8u);
+    auto d = b.mulPlain(c, "w", 1);
+    EXPECT_EQ(d.level, 7u);
+    auto e = b.rotate(d, 3);
+    EXPECT_EQ(e.level, 7u);
+    b.output(e);
+    const HomProgram p = b.take();
+    EXPECT_EQ(p.countKind(HomOpKind::Mul), 1u);
+    EXPECT_EQ(p.countKind(HomOpKind::Rotate), 1u);
+}
+
+TEST(HomBuilder, RotateByZeroIsNoOp)
+{
+    HomBuilder b("t", 12, 10);
+    auto a = b.input(10);
+    auto r = b.rotate(a, 0);
+    EXPECT_EQ(r.op, a.op);
+    EXPECT_EQ(b.program().countKind(HomOpKind::Rotate), 0u);
+}
+
+TEST(HomBuilder, DigitPolicyAppliedPerLevel)
+{
+    HomBuilder b("t", 16, 57, digitPolicy80());
+    auto a = b.input(57);
+    auto m1 = b.mul(a, a, 2); // at level 57 > 52: 2 digits
+    auto m2 = b.mul(m1, m1, 2); // at 55 > 52: 2 digits
+    b.levelDrop(m2, 40);
+    const HomProgram p = b.program();
+    EXPECT_EQ(p.ops[1].digits, 2u);
+    auto low = b.input(40);
+    auto m3 = b.mul(low, low, 2); // below 52: 1 digit
+    EXPECT_EQ(b.program().ops[m3.op].digits, 1u);
+}
+
+TEST(HomBuilder, BootstrapRestoresBudget)
+{
+    HomBuilder b("t", 16, 57);
+    auto a = b.input(3);
+    auto r = b.bootstrap(a);
+    EXPECT_GT(r.level, 15u);
+    EXPECT_LE(r.level, 57u - b.bootLevels() + b.stcStages * 2 + 4);
+    // The graph contains ModRaise, rotations, and multiplies.
+    const HomProgram p = b.program();
+    EXPECT_EQ(p.countKind(HomOpKind::ModRaise), 1u);
+    EXPECT_GT(p.countKind(HomOpKind::Rotate), 20u);
+    EXPECT_GT(p.countKind(HomOpKind::Mul), 5u);
+}
+
+TEST(HomBuilder, BudgetExhaustionDies)
+{
+    HomBuilder b("t", 12, 4);
+    auto a = b.input(2);
+    EXPECT_DEATH(b.mul(a, a, 2), "budget");
+}
+
+TEST(Lowering, ProgramValidates)
+{
+    HomBuilder b("t", 14, 12);
+    auto a = b.input(12);
+    auto c = b.mul(a, a, 2);
+    auto d = b.rotate(c, 5);
+    b.output(d);
+    Lowering lower(ChipConfig::craterLake());
+    Program p = lower.lower(b.take());
+    EXPECT_GT(p.size(), 5u);
+    p.validate(); // dies on inconsistency
+    EXPECT_EQ(lower.stats().keyswitches, 2u);
+}
+
+TEST(Lowering, Table1OpCountsAtL60)
+{
+    // A single ct-ct multiply at L=60 with a 1-digit hint must show
+    // Table 1's boosted keyswitching counts: 3L^2 CRB MACs, 6L NTTs.
+    HomBuilder b("t", 16, 60, [](unsigned) { return 1u; });
+    auto a = b.input(60);
+    b.mul(a, a, 2);
+    Lowering lower(ChipConfig::craterLake());
+    lower.lower(b.take());
+    const LowerStats &s = lower.stats();
+    EXPECT_EQ(s.crbMacVectors, 3u * 60 * 60);
+    // 6L keyswitch NTTs plus the rescale's domain round trips.
+    EXPECT_GE(s.nttVectors, 6u * 60);
+    EXPECT_LE(s.nttVectors, 6u * 60 + 4u * 60 + 8);
+}
+
+TEST(Lowering, KshFootprintHalvedByKshGen)
+{
+    HomBuilder b("t", 14, 12, [](unsigned) { return 1u; });
+    auto a = b.input(12);
+    b.rotate(a, 1);
+    auto count_ksh_words = [&](const ChipConfig &cfg) {
+        Lowering lower(cfg);
+        Program p = lower.lower(b.program());
+        std::uint64_t words = 0;
+        for (const auto &v : p.values) {
+            if (v.kind == ValueKind::KeySwitchHint)
+                words += v.words;
+        }
+        return words;
+    };
+    const auto with = count_ksh_words(ChipConfig::craterLake());
+    const auto without = count_ksh_words(ChipConfig::noKshGen());
+    EXPECT_EQ(without, 2 * with);
+}
+
+TEST(Lowering, HintSharedAcrossUses)
+{
+    HomBuilder b("t", 14, 12, [](unsigned) { return 1u; });
+    auto a = b.input(12);
+    auto r1 = b.rotate(a, 1);
+    auto r2 = b.rotate(r1, 1); // same key
+    b.rotate(r2, 2);           // different key
+    Lowering lower(ChipConfig::craterLake());
+    Program p = lower.lower(b.take());
+    std::size_t hints = 0;
+    for (const auto &v : p.values)
+        hints += v.kind == ValueKind::KeySwitchHint ? 1 : 0;
+    EXPECT_EQ(hints, 2u);
+}
+
+TEST(Lowering, UnchainedConfigEmitsPortHungryMacs)
+{
+    HomBuilder b("t", 14, 12, [](unsigned) { return 1u; });
+    auto a = b.input(12);
+    b.mul(a, a, 2);
+    Lowering chained(ChipConfig::craterLake());
+    Lowering unchained(ChipConfig::noCrbNoChain());
+    Program pc = chained.lower(b.program());
+    Program pu = unchained.lower(b.program());
+    // The unchained program has more instructions (split stages).
+    EXPECT_GT(pu.size(), pc.size());
+    // And its MAC instructions request 3 ports per parallel stream.
+    bool found_wide = false;
+    for (const auto &inst : pu.insts)
+        found_wide |= inst.rfPorts >= 9;
+    EXPECT_TRUE(found_wide);
+}
+
+TEST(Lowering, StandardKeyswitchSkipsCrbMacs)
+{
+    // t = l (single-prime digits) is the standard algorithm: only
+    // the mod-down conversion uses MACs.
+    HomBuilder b("t", 14, 8, [](unsigned l) { return l; });
+    auto a = b.input(8);
+    b.rotate(a, 1);
+    Lowering lower(ChipConfig::craterLake());
+    lower.lower(b.take());
+    EXPECT_EQ(lower.stats().crbMacVectors, 2u * 1 * 8); // mod-down only
+}
+
+TEST(Lowering, NetworkWordsMatchSec43)
+{
+    // A homomorphic mult at level l moves ~8 N l words between lane
+    // groups; a rotation ~10 N l (Sec 4.3).
+    const unsigned l = 12;
+    HomBuilder b("t", 14, l, [](unsigned) { return 1u; });
+    auto a = b.input(l);
+    b.mul(a, a, 2);
+    Lowering lower(ChipConfig::craterLake());
+    Program p = lower.lower(b.take());
+    std::uint64_t net = 0;
+    for (const auto &inst : p.insts)
+        net += inst.networkWords;
+    const double nl = static_cast<double>(p.n) * l;
+    EXPECT_GT(net, 6.0 * nl);
+    EXPECT_LT(net, 11.0 * nl);
+}
+
+} // namespace
+} // namespace cl

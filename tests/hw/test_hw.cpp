@@ -1,0 +1,124 @@
+/** Tests for the hardware configuration, area, and energy models. */
+
+#include <gtest/gtest.h>
+
+#include "hw/area.h"
+#include "hw/energy.h"
+
+namespace cl {
+namespace {
+
+TEST(ChipConfig, CraterLakeDefaults)
+{
+    const ChipConfig c = ChipConfig::craterLake();
+    EXPECT_EQ(c.lanes, 2048u);
+    EXPECT_EQ(c.laneGroups, 8u);
+    EXPECT_EQ(c.fuCount(FuType::Ntt), 2u);
+    EXPECT_EQ(c.fuCount(FuType::Multiply), 5u);
+    EXPECT_EQ(c.fuCount(FuType::Add), 5u);
+    EXPECT_EQ(c.fuCount(FuType::Crb), 1u);
+    EXPECT_EQ(c.fuCount(FuType::KshGen), 1u);
+    EXPECT_EQ(c.rfBytes, 256ull << 20);
+    EXPECT_EQ(c.wordBits, 28u);
+}
+
+TEST(ChipConfig, VectorCycles)
+{
+    const ChipConfig c = ChipConfig::craterLake();
+    // A 64K-element vector takes N/E = 32 cycles (Sec 4.1).
+    EXPECT_EQ(c.vectorCycles(1 << 16), 32u);
+    EXPECT_EQ(c.vectorCycles(1 << 11), 1u);
+}
+
+TEST(ChipConfig, MemoryBandwidthWordsPerCycle)
+{
+    const ChipConfig c = ChipConfig::craterLake();
+    // 2 x 512 GB/s at 1 GHz over 3.5-byte words: ~292 words/cycle.
+    EXPECT_NEAR(c.memWordsPerCycle(), 292.57, 1.0);
+}
+
+TEST(ChipConfig, NetworkBandwidth)
+{
+    const ChipConfig c = ChipConfig::craterLake();
+    // 4E elements/cycle = 8192; at 28 bits and 1 GHz that is the
+    // paper's 29 TB/s (Sec 4.2).
+    EXPECT_EQ(c.networkWordsPerCycle(), 8192.0);
+    const double tbps = 8192 * 3.5 * 1e9 / 1e12;
+    EXPECT_NEAR(tbps, 28.7, 0.5);
+}
+
+TEST(ChipConfig, AblationsToggleUnits)
+{
+    EXPECT_EQ(ChipConfig::noCrbNoChain().fuCount(FuType::Crb), 0u);
+    EXPECT_FALSE(ChipConfig::noCrbNoChain().hasChaining);
+    EXPECT_EQ(ChipConfig::noKshGen().fuCount(FuType::KshGen), 0u);
+    EXPECT_EQ(ChipConfig::crossbarNetwork().network,
+              NetworkType::Crossbar);
+}
+
+TEST(ChipConfig, F1PlusOrganization)
+{
+    const ChipConfig f1 = ChipConfig::f1plus();
+    EXPECT_EQ(f1.lanes, 256u);
+    EXPECT_EQ(f1.laneGroups, 32u);
+    EXPECT_EQ(f1.fuCount(FuType::Ntt), 32u);
+    EXPECT_EQ(f1.fuCount(FuType::Multiply), 64u);
+    EXPECT_EQ(f1.fuCount(FuType::Crb), 0u);
+    // Per-cluster vectors: a 64K vector takes 256 cycles.
+    EXPECT_EQ(f1.vectorCycles(1 << 16), 256u);
+}
+
+TEST(AreaModel, MatchesTable2)
+{
+    const AreaBreakdown a = areaModel(ChipConfig::craterLake());
+    EXPECT_NEAR(a.crb, 158.8, 1.0);
+    EXPECT_NEAR(a.ntt, 2 * 28.1, 1.0);
+    EXPECT_NEAR(a.automorphism, 9.0, 0.5);
+    EXPECT_NEAR(a.kshGen, 3.3, 0.2);
+    EXPECT_NEAR(a.multiply, 5 * 2.2, 0.5);
+    EXPECT_NEAR(a.add, 5 * 0.8, 0.5);
+    EXPECT_NEAR(a.registerFile, 192.0, 1.0);
+    EXPECT_NEAR(a.interconnect, 10.0, 0.5);
+    EXPECT_NEAR(a.memPhy, 29.8, 0.5);
+    EXPECT_NEAR(a.total(), 472.3, 15.0);
+}
+
+TEST(AreaModel, CrossbarIs16xLarger)
+{
+    const AreaBreakdown fixed = areaModel(ChipConfig::craterLake());
+    const AreaBreakdown xbar = areaModel(ChipConfig::crossbarNetwork());
+    EXPECT_NEAR(xbar.interconnect / fixed.interconnect, 16.0, 0.1);
+}
+
+TEST(AreaModel, RfScalesWithCapacity)
+{
+    const AreaBreakdown big = areaModel(ChipConfig::withRfMB(512));
+    const AreaBreakdown small = areaModel(ChipConfig::withRfMB(128));
+    EXPECT_NEAR(big.registerFile / small.registerFile, 4.0, 0.01);
+}
+
+TEST(AreaModel, N128kAddsSec94Delta)
+{
+    const double base = areaModel(ChipConfig::craterLake()).total();
+    const double big = areaModel(ChipConfig::craterLake128k()).total();
+    // Sec 9.4: ~27.4 mm^2, under 6% of chip area.
+    EXPECT_GT(big - base, 15.0);
+    EXPECT_LT(big - base, 30.0);
+    EXPECT_LT((big - base) / base, 0.06);
+}
+
+TEST(EnergyModel, PerOpEnergiesOrdered)
+{
+    const EnergyParams p;
+    // NTT butterflies (mul + 2 adds) cost more than a bare multiply,
+    // which costs far more than an add or a permutation move.
+    EXPECT_GT(fuEnergyPerLaneOp(p, FuType::Ntt),
+              fuEnergyPerLaneOp(p, FuType::Multiply) * 0.9);
+    EXPECT_GT(fuEnergyPerLaneOp(p, FuType::Multiply),
+              10 * fuEnergyPerLaneOp(p, FuType::Add));
+    EXPECT_GT(fuEnergyPerLaneOp(p, FuType::Multiply),
+              fuEnergyPerLaneOp(p, FuType::Automorphism));
+}
+
+} // namespace
+} // namespace cl

@@ -1,0 +1,178 @@
+/** Tests for the double-CRT polynomial type. */
+
+#include <gtest/gtest.h>
+
+#include "poly/rnspoly.h"
+#include "rns/primes.h"
+#include "util/prng.h"
+
+namespace cl {
+namespace {
+
+class RnsPolyTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        n_ = 128;
+        auto primes = generateNttPrimes(40, n_, 4);
+        chain_ = std::make_unique<RnsChain>(n_, primes);
+        idx_ = {0, 1, 2, 3};
+    }
+
+    RnsPoly
+    randomPoly(std::uint64_t seed)
+    {
+        FastRng rng(seed);
+        RnsPoly p(*chain_, idx_, false);
+        for (std::size_t t = 0; t < p.towers(); ++t) {
+            for (auto &c : p.residue(t))
+                c = rng.nextBelow(p.modulus(t));
+        }
+        return p;
+    }
+
+    /** Embed a small integer polynomial in all towers. */
+    RnsPoly
+    embed(const std::vector<std::int64_t> &coeffs)
+    {
+        RnsPoly p(*chain_, idx_, false);
+        for (std::size_t t = 0; t < p.towers(); ++t) {
+            for (std::size_t i = 0; i < coeffs.size(); ++i)
+                p.residue(t)[i] = reduceSigned(coeffs[i], p.modulus(t));
+        }
+        return p;
+    }
+
+    std::size_t n_;
+    std::unique_ptr<RnsChain> chain_;
+    std::vector<unsigned> idx_;
+};
+
+TEST_F(RnsPolyTest, NttRoundTrip)
+{
+    auto p = randomPoly(1);
+    auto q = p;
+    p.toNtt();
+    EXPECT_TRUE(p.isNtt());
+    p.toCoeff();
+    EXPECT_EQ(p.data(), q.data());
+}
+
+TEST_F(RnsPolyTest, AddSubCancel)
+{
+    auto a = randomPoly(2);
+    auto b = randomPoly(3);
+    auto c = a + b - b;
+    EXPECT_EQ(c.data(), a.data());
+}
+
+TEST_F(RnsPolyTest, MultiplicationViaSmallIntegers)
+{
+    // (1 + 2x) * (3 + x) = 3 + 7x + 2x^2 in every tower.
+    auto a = embed({1, 2});
+    auto b = embed({3, 1});
+    a.toNtt();
+    b.toNtt();
+    a *= b;
+    a.toCoeff();
+    for (std::size_t t = 0; t < a.towers(); ++t) {
+        EXPECT_EQ(a.residue(t)[0], 3u);
+        EXPECT_EQ(a.residue(t)[1], 7u);
+        EXPECT_EQ(a.residue(t)[2], 2u);
+        EXPECT_EQ(a.residue(t)[3], 0u);
+    }
+}
+
+TEST_F(RnsPolyTest, NegatePlusOriginalIsZero)
+{
+    auto a = randomPoly(4);
+    auto b = a;
+    b.negate();
+    auto c = a + b;
+    for (std::size_t t = 0; t < c.towers(); ++t) {
+        for (auto v : c.residue(t))
+            EXPECT_EQ(v, 0u);
+    }
+}
+
+TEST_F(RnsPolyTest, ScalarMultiplication)
+{
+    auto a = embed({5, 0, 1});
+    a.mulScalar(3);
+    for (std::size_t t = 0; t < a.towers(); ++t) {
+        EXPECT_EQ(a.residue(t)[0], 15u);
+        EXPECT_EQ(a.residue(t)[2], 3u);
+    }
+}
+
+TEST_F(RnsPolyTest, RescaleDividesSmallValues)
+{
+    // Embed v = c * q_last; rescaling yields c in all towers.
+    const u64 q_last = chain_->modulus(3);
+    RnsPoly p(*chain_, idx_, false);
+    for (std::size_t t = 0; t < p.towers(); ++t) {
+        const u64 q = p.modulus(t);
+        // coefficient 0 = 7 * q_last (mod q), coefficient 1 = 0.
+        p.residue(t)[0] = mulMod(7 % q, q_last % q, q);
+    }
+    p.rescaleLastTower();
+    EXPECT_EQ(p.towers(), 3u);
+    for (std::size_t t = 0; t < p.towers(); ++t)
+        EXPECT_EQ(p.residue(t)[0], 7u);
+}
+
+TEST_F(RnsPolyTest, RescaleRoundsToNearest)
+{
+    // v = 2*q_last + (q_last-1)  rounds to 3 (since remainder is
+    // nearly q_last).
+    const u64 q_last = chain_->modulus(3);
+    RnsPoly p(*chain_, idx_, false);
+    for (std::size_t t = 0; t < p.towers(); ++t) {
+        const u64 q = p.modulus(t);
+        const u64 v = mulMod(2, q_last % q, q);
+        p.residue(t)[0] = addMod(v, (q_last - 1) % q, q);
+    }
+    p.rescaleLastTower();
+    for (std::size_t t = 0; t < p.towers(); ++t)
+        EXPECT_EQ(p.residue(t)[0], 3u);
+}
+
+TEST_F(RnsPolyTest, RescalePreservesNttDomain)
+{
+    auto p = randomPoly(5);
+    p.toNtt();
+    p.rescaleLastTower();
+    EXPECT_TRUE(p.isNtt());
+    EXPECT_EQ(p.towers(), 3u);
+}
+
+TEST_F(RnsPolyTest, SubsetExtractsRequestedTowers)
+{
+    auto p = randomPoly(6);
+    auto s = p.subset({1, 3});
+    EXPECT_EQ(s.towers(), 2u);
+    EXPECT_EQ(s.residue(0), p.residue(1));
+    EXPECT_EQ(s.residue(1), p.residue(3));
+}
+
+TEST_F(RnsPolyTest, AutomorphismMatchesPerTowerMap)
+{
+    auto p = embed({0, 1}); // x
+    auto r = p.automorphism(5);
+    // x -> x^5.
+    for (std::size_t t = 0; t < r.towers(); ++t) {
+        EXPECT_EQ(r.residue(t)[5], 1u);
+        EXPECT_EQ(r.residue(t)[1], 0u);
+    }
+}
+
+TEST_F(RnsPolyTest, FootprintWords)
+{
+    auto p = randomPoly(7);
+    EXPECT_EQ(p.footprintWords(), 4u * n_);
+}
+
+} // namespace
+} // namespace cl

@@ -1,0 +1,136 @@
+/** Tests for automorphism maps in both domains. */
+
+#include <gtest/gtest.h>
+
+#include "rns/automorphism.h"
+#include "rns/primes.h"
+#include "util/prng.h"
+
+namespace cl {
+namespace {
+
+/** Brute-force automorphism in coefficient domain. */
+std::vector<u64>
+bruteAuto(const std::vector<u64> &a, std::size_t k, u64 q)
+{
+    const std::size_t n = a.size();
+    std::vector<u64> out(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t e = (i * k) % (2 * n);
+        if (e < n)
+            out[e] = a[i];
+        else
+            out[e - n] = a[i] == 0 ? 0 : q - a[i];
+    }
+    return out;
+}
+
+class AutoTest : public ::testing::TestWithParam<std::size_t>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        n_ = 256;
+        q_ = generateNttPrimes(30, n_, 1)[0];
+        tables_ = std::make_unique<NttTables>(n_, q_);
+    }
+
+    std::size_t n_;
+    u64 q_;
+    std::unique_ptr<NttTables> tables_;
+};
+
+TEST_P(AutoTest, CoeffDomainMatchesBruteForce)
+{
+    const std::size_t k = GetParam();
+    AutomorphismMap map(n_, k, *tables_);
+    FastRng rng(1);
+    std::vector<u64> a(n_);
+    for (auto &c : a)
+        c = rng.nextBelow(q_);
+    std::vector<u64> out(n_);
+    map.applyCoeff(a.data(), out.data(), q_);
+    EXPECT_EQ(out, bruteAuto(a, k, q_));
+}
+
+TEST_P(AutoTest, NttDomainCommutesWithTransform)
+{
+    // NTT(auto(a)) == autoNtt(NTT(a)) — the defining property of the
+    // slot-domain permutation (what CraterLake's automorphism FU
+    // exploits to avoid domain switches).
+    const std::size_t k = GetParam();
+    AutomorphismMap map(n_, k, *tables_);
+    FastRng rng(2);
+    std::vector<u64> a(n_);
+    for (auto &c : a)
+        c = rng.nextBelow(q_);
+
+    std::vector<u64> path1(n_); // coeff-domain auto then NTT
+    map.applyCoeff(a.data(), path1.data(), q_);
+    tables_->forward(path1.data());
+
+    std::vector<u64> a_ntt = a; // NTT then slot permutation
+    tables_->forward(a_ntt.data());
+    std::vector<u64> path2(n_);
+    map.applyNtt(a_ntt.data(), path2.data());
+
+    EXPECT_EQ(path1, path2);
+}
+
+// Odd exponents: 5^j values, the conjugation 2N-1, and others.
+INSTANTIATE_TEST_SUITE_P(Exponents, AutoTest,
+                         ::testing::Values(1u, 3u, 5u, 25u, 125u, 511u,
+                                           127u));
+
+TEST(Automorphism, CompositionLaw)
+{
+    // auto_j(auto_k(a)) == auto_{jk mod 2N}(a).
+    const std::size_t n = 128;
+    const u64 q = generateNttPrimes(28, n, 1)[0];
+    NttTables t(n, q);
+    AutomorphismMap m5(n, 5, t), m25(n, 25, t);
+    FastRng rng(3);
+    std::vector<u64> a(n);
+    for (auto &c : a)
+        c = rng.nextBelow(q);
+    std::vector<u64> tmp(n), twice(n), once(n);
+    m5.applyCoeff(a.data(), tmp.data(), q);
+    m5.applyCoeff(tmp.data(), twice.data(), q);
+    m25.applyCoeff(a.data(), once.data(), q);
+    EXPECT_EQ(twice, once);
+}
+
+TEST(Automorphism, IdentityExponent)
+{
+    const std::size_t n = 64;
+    const u64 q = generateNttPrimes(28, n, 1)[0];
+    NttTables t(n, q);
+    AutomorphismMap m1(n, 1, t);
+    FastRng rng(4);
+    std::vector<u64> a(n), out(n);
+    for (auto &c : a)
+        c = rng.nextBelow(q);
+    m1.applyCoeff(a.data(), out.data(), q);
+    EXPECT_EQ(out, a);
+    m1.applyNtt(a.data(), out.data());
+    EXPECT_EQ(out, a);
+}
+
+TEST(Automorphism, SlotExponentsAreOddAndDistinct)
+{
+    const std::size_t n = 512;
+    const u64 q = generateNttPrimes(28, n, 1)[0];
+    NttTables t(n, q);
+    auto exps = nttSlotExponents(t);
+    ASSERT_EQ(exps.size(), n);
+    std::vector<bool> seen(2 * n, false);
+    for (auto e : exps) {
+        EXPECT_EQ(e % 2, 1u);
+        EXPECT_FALSE(seen[e]);
+        seen[e] = true;
+    }
+}
+
+} // namespace
+} // namespace cl

@@ -1,0 +1,195 @@
+/** Tests for changeRNSBase: exactness on small values, bounded error. */
+
+#include <gtest/gtest.h>
+
+#include "rns/baseconv.h"
+#include "rns/primes.h"
+#include "util/biguint.h"
+#include "util/prng.h"
+
+namespace cl {
+namespace {
+
+class BaseConvTest : public ::testing::TestWithParam<std::tuple<unsigned,
+                                                                unsigned>>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ls_ = std::get<0>(GetParam());
+        ld_ = std::get<1>(GetParam());
+        n_ = 64;
+        auto primes = generateNttPrimes(30, n_, ls_ + ld_);
+        chain_ = std::make_unique<RnsChain>(n_, primes);
+        for (unsigned i = 0; i < ls_; ++i)
+            src_.push_back(i);
+        for (unsigned i = 0; i < ld_; ++i)
+            dst_.push_back(ls_ + i);
+    }
+
+    unsigned ls_, ld_;
+    std::size_t n_;
+    std::unique_ptr<RnsChain> chain_;
+    std::vector<unsigned> src_, dst_;
+};
+
+TEST_P(BaseConvTest, ZeroMapsToZero)
+{
+    BaseConverter conv(*chain_, src_, dst_);
+    std::vector<std::vector<u64>> in(ls_, std::vector<u64>(n_, 0));
+    std::vector<std::vector<u64>> out;
+    conv.convert(in, out);
+    ASSERT_EQ(out.size(), ld_);
+    for (unsigned j = 0; j < ld_; ++j) {
+        for (std::size_t c = 0; c < n_; ++c)
+            EXPECT_EQ(out[j][c], 0u);
+    }
+}
+
+TEST_P(BaseConvTest, ExactWhenScaledResiduesAreSmall)
+{
+    // The conversion's k*Q error term is Σ floor-error of the scaled
+    // residues; constructing the input from small *scaled* residues
+    // (x ≡ c_i * (Q/q_i)·... i.e., x'_i = c_i directly) makes it
+    // exact. We pick x = Σ c_i·(Q/q_i) with tiny c_i, whose scaled
+    // residues are exactly c_i.
+    BaseConverter conv(*chain_, src_, dst_);
+    FastRng rng(1);
+    std::vector<u64> c(ls_);
+    for (auto &v : c)
+        v = rng.nextBelow(4);
+
+    std::vector<std::vector<u64>> in(ls_, std::vector<u64>(n_, 0));
+    for (unsigned i = 0; i < ls_; ++i) {
+        const u64 qi = chain_->modulus(src_[i]);
+        // x mod q_i = c_i * (Q/q_i) mod q_i (other terms vanish).
+        u64 qhat = 1;
+        for (unsigned m = 0; m < ls_; ++m) {
+            if (m != i)
+                qhat = mulMod(qhat, chain_->modulus(src_[m]) % qi, qi);
+        }
+        in[i][0] = mulMod(c[i], qhat, qi);
+    }
+    std::vector<std::vector<u64>> out;
+    conv.convert(in, out);
+
+    // Expected exact value: Σ c_i·(Q/q_i) mod p_j.
+    for (unsigned j = 0; j < ld_; ++j) {
+        const u64 pj = chain_->modulus(dst_[j]);
+        u64 expect = 0;
+        for (unsigned i = 0; i < ls_; ++i) {
+            u64 qhat = 1;
+            for (unsigned m = 0; m < ls_; ++m) {
+                if (m != i)
+                    qhat = mulMod(qhat,
+                                  chain_->modulus(src_[m]) % pj, pj);
+            }
+            expect = addMod(expect, mulMod(c[i] % pj, qhat, pj), pj);
+        }
+        EXPECT_EQ(out[j][0], expect);
+    }
+}
+
+TEST_P(BaseConvTest, ErrorIsMultipleOfQ)
+{
+    // For arbitrary values the output equals the input plus k*Q with
+    // 0 <= k <= ls (the approximate-conversion error bound).
+    BaseConverter conv(*chain_, src_, dst_);
+    std::vector<u64> src_primes;
+    for (unsigned i : src_)
+        src_primes.push_back(chain_->modulus(i));
+    const BigUint q_prod = BigUint::product(src_primes);
+
+    FastRng rng(2);
+    std::vector<std::vector<u64>> in(ls_, std::vector<u64>(n_));
+    std::vector<BigUint> truth;
+    for (std::size_t c = 0; c < n_; ++c) {
+        // Build a random value < Q via CRT of random residues, using
+        // the exact CRT from the converter applied to a huge modulus
+        // set... instead: take v = random 64-bit times random 64-bit,
+        // reduced by construction below Q only when small ls. Use
+        // direct per-residue randoms and verify congruences instead.
+        for (unsigned i = 0; i < ls_; ++i)
+            in[i][c] = rng.nextBelow(chain_->modulus(src_[i]));
+    }
+    std::vector<std::vector<u64>> out;
+    conv.convert(in, out);
+
+    // Verify congruence: out must equal some lift x with
+    // x ≡ in (mod q_i) for all i and x < (ls+1)*Q. We check this by
+    // exhaustively testing the k in [0, ls]: exists k such that for
+    // all destination moduli, out_j ≡ x0 + k*Q (mod p_j), where x0 is
+    // the exact CRT lift.
+    // Exact CRT lift via BigUint.
+    for (std::size_t c = 0; c < n_; ++c) {
+        BigUint x0(0);
+        for (unsigned i = 0; i < ls_; ++i) {
+            const u64 qi = chain_->modulus(src_[i]);
+            u64 qhat_mod = 1;
+            std::vector<u64> others;
+            for (unsigned m = 0; m < ls_; ++m) {
+                if (m == i)
+                    continue;
+                others.push_back(chain_->modulus(src_[m]));
+                qhat_mod = mulMod(qhat_mod,
+                                  chain_->modulus(src_[m]) % qi, qi);
+            }
+            const u64 ci = mulMod(in[i][c], invMod(qhat_mod, qi), qi);
+            BigUint term = BigUint::product(others);
+            term.mulU64(ci);
+            x0 += term;
+        }
+        while (x0 >= q_prod)
+            x0 -= q_prod;
+
+        bool found = false;
+        for (unsigned k = 0; k <= ls_ && !found; ++k) {
+            bool all = true;
+            for (unsigned j = 0; j < ld_; ++j) {
+                const u64 pj = chain_->modulus(dst_[j]);
+                const u64 expect =
+                    addMod(x0.modU64(pj),
+                           mulMod(k, q_prod.modU64(pj), pj), pj);
+                all &= out[j][c] == expect;
+            }
+            found = all;
+        }
+        EXPECT_TRUE(found) << "coefficient " << c
+                           << " not within k*Q of the exact lift";
+    }
+}
+
+TEST_P(BaseConvTest, MultiplyCountMatchesFormula)
+{
+    BaseConverter conv(*chain_, src_, dst_);
+    EXPECT_EQ(conv.multipliesPerCoeff(), ls_ + ls_ * ld_);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BaseConvTest,
+                         ::testing::Combine(::testing::Values(1u, 2u, 4u,
+                                                              8u),
+                                            ::testing::Values(1u, 3u, 8u)));
+
+TEST(BaseConv, SingleSourceBroadcast)
+{
+    // Lifting a single residue is a plain broadcast mod each dest —
+    // this is the inner step of *standard* keyswitching.
+    const std::size_t n = 32;
+    auto primes = generateNttPrimes(30, n, 4);
+    RnsChain chain(n, primes);
+    BaseConverter conv(chain, {0}, {1, 2, 3});
+    FastRng rng(3);
+    std::vector<std::vector<u64>> in(1, std::vector<u64>(n));
+    for (auto &v : in[0])
+        v = rng.nextBelow(chain.modulus(0));
+    std::vector<std::vector<u64>> out;
+    conv.convert(in, out);
+    for (unsigned j = 0; j < 3; ++j) {
+        for (std::size_t c = 0; c < n; ++c)
+            EXPECT_EQ(out[j][c], in[0][c] % chain.modulus(j + 1));
+    }
+}
+
+} // namespace
+} // namespace cl

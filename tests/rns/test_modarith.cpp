@@ -1,0 +1,95 @@
+/** Tests for scalar modular arithmetic. */
+
+#include <gtest/gtest.h>
+
+#include "rns/modarith.h"
+#include "rns/primes.h"
+#include "util/prng.h"
+
+namespace cl {
+namespace {
+
+std::vector<u64>
+testPrimes()
+{
+    // One prime per width class: 28-bit (hardware), 40-bit (scale),
+    // 59-bit (wide/test precision).
+    std::vector<u64> out;
+    for (unsigned bits : {28u, 40u, 59u})
+        out.push_back(generateNttPrimes(bits, 1 << 12, 1)[0]);
+    return out;
+}
+
+class ModArithTest : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(ModArithTest, AddSubInverse)
+{
+    const u64 q = GetParam();
+    FastRng rng(1);
+    for (int i = 0; i < 200; ++i) {
+        const u64 a = rng.nextBelow(q), b = rng.nextBelow(q);
+        EXPECT_EQ(subMod(addMod(a, b, q), b, q), a);
+        EXPECT_EQ(addMod(subMod(a, b, q), b, q), a);
+    }
+}
+
+TEST_P(ModArithTest, MulMatchesWideProduct)
+{
+    const u64 q = GetParam();
+    FastRng rng(2);
+    for (int i = 0; i < 200; ++i) {
+        const u64 a = rng.nextBelow(q), b = rng.nextBelow(q);
+        EXPECT_EQ(mulMod(a, b, q),
+                  static_cast<u64>((unsigned __int128)a * b % q));
+    }
+}
+
+TEST_P(ModArithTest, ShoupMatchesMulMod)
+{
+    const u64 q = GetParam();
+    FastRng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        const u64 w = rng.nextBelow(q);
+        const ShoupMul s(w, q);
+        for (int j = 0; j < 20; ++j) {
+            const u64 x = rng.nextBelow(q);
+            EXPECT_EQ(s.mul(x, q), mulMod(x, w, q));
+        }
+    }
+}
+
+TEST_P(ModArithTest, PowAndInverse)
+{
+    const u64 q = GetParam();
+    FastRng rng(4);
+    for (int i = 0; i < 50; ++i) {
+        const u64 a = 1 + rng.nextBelow(q - 1);
+        EXPECT_EQ(mulMod(a, invMod(a, q), q), 1u);
+        EXPECT_EQ(powMod(a, q - 1, q), 1u); // Fermat
+    }
+}
+
+TEST_P(ModArithTest, CenteredRepresentative)
+{
+    const u64 q = GetParam();
+    EXPECT_EQ(centered(0, q), 0);
+    EXPECT_EQ(centered(1, q), 1);
+    EXPECT_EQ(centered(q - 1, q), -1);
+    EXPECT_EQ(reduceSigned(-1, q), q - 1);
+    EXPECT_EQ(reduceSigned(-(std::int64_t)q - 5, q), q - 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ModArithTest,
+                         ::testing::ValuesIn(testPrimes()));
+
+TEST(ModArith, PowEdgeCases)
+{
+    EXPECT_EQ(powMod(5, 0, 97), 1u);
+    EXPECT_EQ(powMod(0, 5, 97), 0u);
+    EXPECT_EQ(powMod(96, 2, 97), 1u);
+}
+
+} // namespace
+} // namespace cl

@@ -1,0 +1,151 @@
+/** Tests for the negacyclic NTT: round trips and convolution theorem. */
+
+#include <gtest/gtest.h>
+
+#include "rns/ntt.h"
+#include "rns/primes.h"
+#include "util/prng.h"
+
+namespace cl {
+namespace {
+
+/** Schoolbook negacyclic multiplication, the ground truth. */
+std::vector<u64>
+negacyclicMul(const std::vector<u64> &a, const std::vector<u64> &b, u64 q)
+{
+    const std::size_t n = a.size();
+    std::vector<u64> out(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            const u64 p = mulMod(a[i], b[j], q);
+            const std::size_t k = i + j;
+            if (k < n)
+                out[k] = addMod(out[k], p, q);
+            else
+                out[k - n] = subMod(out[k - n], p, q); // x^n = -1
+        }
+    }
+    return out;
+}
+
+class NttTest : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        logn_ = std::get<0>(GetParam());
+        bits_ = std::get<1>(GetParam());
+        n_ = std::size_t{1} << logn_;
+        q_ = generateNttPrimes(bits_, n_, 1)[0];
+        tables_ = std::make_unique<NttTables>(n_, q_);
+    }
+
+    std::vector<u64>
+    randomPoly(std::uint64_t seed)
+    {
+        FastRng rng(seed);
+        std::vector<u64> p(n_);
+        for (auto &c : p)
+            c = rng.nextBelow(q_);
+        return p;
+    }
+
+    unsigned logn_, bits_;
+    std::size_t n_;
+    u64 q_;
+    std::unique_ptr<NttTables> tables_;
+};
+
+TEST_P(NttTest, RoundTripIdentity)
+{
+    auto a = randomPoly(1);
+    auto orig = a;
+    tables_->forward(a.data());
+    tables_->inverse(a.data());
+    EXPECT_EQ(a, orig);
+}
+
+TEST_P(NttTest, InverseThenForwardIdentity)
+{
+    auto a = randomPoly(2);
+    auto orig = a;
+    tables_->inverse(a.data());
+    tables_->forward(a.data());
+    EXPECT_EQ(a, orig);
+}
+
+TEST_P(NttTest, ConvolutionTheorem)
+{
+    // Keep schoolbook cost bounded.
+    if (n_ > 512)
+        GTEST_SKIP() << "schoolbook too slow at this size";
+    auto a = randomPoly(3);
+    auto b = randomPoly(4);
+    const auto expect = negacyclicMul(a, b, q_);
+
+    tables_->forward(a.data());
+    tables_->forward(b.data());
+    std::vector<u64> c(n_);
+    for (std::size_t i = 0; i < n_; ++i)
+        c[i] = mulMod(a[i], b[i], q_);
+    tables_->inverse(c.data());
+    EXPECT_EQ(c, expect);
+}
+
+TEST_P(NttTest, Linearity)
+{
+    auto a = randomPoly(5);
+    auto b = randomPoly(6);
+    std::vector<u64> sum(n_);
+    for (std::size_t i = 0; i < n_; ++i)
+        sum[i] = addMod(a[i], b[i], q_);
+
+    tables_->forward(a.data());
+    tables_->forward(b.data());
+    tables_->forward(sum.data());
+    for (std::size_t i = 0; i < n_; ++i)
+        EXPECT_EQ(sum[i], addMod(a[i], b[i], q_));
+}
+
+TEST_P(NttTest, ConstantPolynomialIsConstantSpectrum)
+{
+    std::vector<u64> a(n_, 0);
+    a[0] = 7;
+    tables_->forward(a.data());
+    for (std::size_t i = 0; i < n_; ++i)
+        EXPECT_EQ(a[i], 7u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndWidths, NttTest,
+    ::testing::Combine(::testing::Values(3u, 8u, 9u, 12u),
+                       ::testing::Values(28u, 40u, 59u)));
+
+TEST(Ntt, MonomialShiftProperty)
+{
+    // Multiplying by x rotates coefficients negacyclically; verified
+    // via NTT pointwise multiply at N=16.
+    const std::size_t n = 16;
+    const u64 q = generateNttPrimes(28, n, 1)[0];
+    NttTables t(n, q);
+    std::vector<u64> a(n), x(n, 0);
+    FastRng rng(7);
+    for (auto &c : a)
+        c = rng.nextBelow(q);
+    x[1] = 1;
+    auto af = a, xf = x;
+    t.forward(af.data());
+    t.forward(xf.data());
+    std::vector<u64> c(n);
+    for (std::size_t i = 0; i < n; ++i)
+        c[i] = mulMod(af[i], xf[i], q);
+    t.inverse(c.data());
+    // Expect (a * x): coefficient i+1 = a_i, coefficient 0 = -a_{n-1}.
+    EXPECT_EQ(c[0], a[n - 1] == 0 ? 0 : q - a[n - 1]);
+    for (std::size_t i = 1; i < n; ++i)
+        EXPECT_EQ(c[i], a[i - 1]);
+}
+
+} // namespace
+} // namespace cl

@@ -1,0 +1,70 @@
+/** Tests for NTT-friendly prime generation. */
+
+#include <gtest/gtest.h>
+
+#include "rns/primes.h"
+
+namespace cl {
+namespace {
+
+TEST(Primes, MillerRabinKnownValues)
+{
+    EXPECT_TRUE(isPrime(2));
+    EXPECT_TRUE(isPrime(3));
+    EXPECT_TRUE(isPrime(998244353));          // 119 * 2^23 + 1
+    EXPECT_TRUE(isPrime(576460752303423619)); // large prime
+    EXPECT_FALSE(isPrime(1));
+    EXPECT_FALSE(isPrime(0));
+    EXPECT_FALSE(isPrime(998244353ULL * 7));
+    EXPECT_FALSE(isPrime(3215031751ULL)); // strong pseudoprime to 2,3,5,7
+}
+
+TEST(Primes, GeneratedPrimesSatisfyCongruence)
+{
+    const std::size_t n = 1 << 13;
+    auto primes = generateNttPrimes(30, n, 10);
+    ASSERT_EQ(primes.size(), 10u);
+    for (u64 q : primes) {
+        EXPECT_TRUE(isPrime(q));
+        EXPECT_EQ((q - 1) % (2 * n), 0u);
+        EXPECT_GE(q, 1ULL << 29);
+        EXPECT_LT(q, 1ULL << 30);
+    }
+    // Distinct and descending.
+    for (std::size_t i = 1; i < primes.size(); ++i)
+        EXPECT_LT(primes[i], primes[i - 1]);
+}
+
+TEST(Primes, PaperClaim28BitPrimesSuffientFor64K)
+{
+    // Sec 5.5: CraterLake needs 2*Lmax = 120 NTT-friendly 28-bit
+    // moduli for N up to 64K; 28 bits is the narrowest width where
+    // enough exist. Verify both directions of the claim.
+    const std::size_t n64k = 1 << 16;
+    const std::size_t available28 = countNttPrimes(28, n64k);
+    EXPECT_GE(available28, 120u);
+    const std::size_t available24 = countNttPrimes(24, n64k);
+    EXPECT_LT(available24, 120u);
+}
+
+TEST(Primes, PrimitiveRootHasExactOrder)
+{
+    const std::size_t n = 1 << 10;
+    auto primes = generateNttPrimes(28, n, 3);
+    for (u64 q : primes) {
+        const u64 psi = findPrimitiveRoot(q, 2 * n);
+        EXPECT_EQ(powMod(psi, 2 * n, q), 1u);
+        EXPECT_NE(powMod(psi, n, q), 1u);
+        // psi^n must be -1 for the negacyclic embedding.
+        EXPECT_EQ(powMod(psi, n, q), q - 1);
+    }
+}
+
+TEST(Primes, FatalWhenNotEnoughExist)
+{
+    // Asking for far more 14-bit primes than exist for N=4096 dies.
+    EXPECT_DEATH(generateNttPrimes(14, 1 << 12, 100), "fatal");
+}
+
+} // namespace
+} // namespace cl

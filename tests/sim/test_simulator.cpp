@@ -1,0 +1,286 @@
+/** Tests for the cycle-level simulator's resource and memory models. */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace cl {
+namespace {
+
+Program
+singleInstProgram(std::uint64_t duration, unsigned fu_units = 1)
+{
+    Program p;
+    p.name = "single";
+    p.n = 1 << 16;
+    const auto in = p.addValue(ValueKind::Input, 1 << 20, "in");
+    const auto out = p.addValue(ValueKind::Output, 1 << 20, "out");
+    PolyInst inst;
+    inst.mnemonic = "op";
+    inst.n = p.n;
+    inst.fus = {{FuType::Add, fu_units, 1 << 20}};
+    inst.reads = {in};
+    inst.writes = {out};
+    inst.duration = duration;
+    inst.rfPorts = 2;
+    p.addInst(std::move(inst));
+    return p;
+}
+
+TEST(Simulator, SingleInstructionLatency)
+{
+    const ChipConfig cfg = ChipConfig::craterLake();
+    Simulator sim(cfg);
+    auto stats = sim.run(singleInstProgram(1000));
+    // Total time = input load + compute (+ output store on the
+    // decoupled memory timeline).
+    EXPECT_GE(stats.cycles, 1000u);
+    EXPECT_EQ(stats.fuBusy[static_cast<unsigned>(FuType::Add)], 1000u);
+    EXPECT_EQ(stats.inputLoadWords, 1u << 20);
+    EXPECT_EQ(stats.outputStoreWords, 1u << 20);
+}
+
+TEST(Simulator, IndependentOpsOverlapOnDifferentUnits)
+{
+    Program p;
+    p.n = 1 << 16;
+    const auto in = p.addValue(ValueKind::Input, 1024, "in");
+    for (int i = 0; i < 2; ++i) {
+        const auto out = p.addValue(ValueKind::Intermediate, 1024, "t");
+        PolyInst inst;
+        inst.mnemonic = "op";
+        inst.n = p.n;
+        inst.fus = {{FuType::Add, 1, 1024}};
+        inst.reads = {in};
+        inst.writes = {out};
+        inst.duration = 10000;
+        inst.rfPorts = 2;
+        p.addInst(std::move(inst));
+    }
+    ChipConfig cfg = ChipConfig::craterLake(); // 5 add units
+    Simulator sim(cfg);
+    auto stats = sim.run(p);
+    // Two independent 10000-cycle ops on 5 units: ~10000, not 20000.
+    EXPECT_LT(stats.cycles, 15000u);
+}
+
+TEST(Simulator, SameUnitSerializes)
+{
+    Program p;
+    p.n = 1 << 16;
+    const auto in = p.addValue(ValueKind::Input, 1024, "in");
+    for (int i = 0; i < 3; ++i) {
+        const auto out = p.addValue(ValueKind::Intermediate, 1024, "t");
+        PolyInst inst;
+        inst.mnemonic = "crb";
+        inst.n = p.n;
+        inst.fus = {{FuType::Crb, 1, 1024}}; // only one CRB exists
+        inst.reads = {in};
+        inst.writes = {out};
+        inst.duration = 10000;
+        inst.rfPorts = 2;
+        p.addInst(std::move(inst));
+    }
+    Simulator sim(ChipConfig::craterLake());
+    auto stats = sim.run(p);
+    EXPECT_GE(stats.cycles, 30000u);
+}
+
+TEST(Simulator, PortPressureThrottles)
+{
+    // Ops needing 12 ports cannot overlap on a 12-port register file
+    // even though FU units are available.
+    Program p;
+    p.n = 1 << 16;
+    const auto in = p.addValue(ValueKind::Input, 1024, "in");
+    for (int i = 0; i < 2; ++i) {
+        const auto out = p.addValue(ValueKind::Intermediate, 1024, "t");
+        PolyInst inst;
+        inst.mnemonic = "wide";
+        inst.n = p.n;
+        inst.fus = {{FuType::Add, 2, 1024}};
+        inst.reads = {in};
+        inst.writes = {out};
+        inst.duration = 10000;
+        inst.rfPorts = 12;
+        p.addInst(std::move(inst));
+    }
+    Simulator sim(ChipConfig::craterLake());
+    auto stats = sim.run(p);
+    EXPECT_GE(stats.cycles, 20000u);
+}
+
+TEST(Simulator, MissingFuIsFatal)
+{
+    Program p = singleInstProgram(100);
+    p.insts[0].fus = {{FuType::Crb, 1, 100}};
+    ChipConfig cfg = ChipConfig::noCrbNoChain();
+    Simulator sim(cfg);
+    EXPECT_DEATH(sim.run(p), "absent FU");
+}
+
+TEST(Simulator, ReusedOperandLoadsOnce)
+{
+    Program p;
+    p.n = 1 << 16;
+    const auto ksh =
+        p.addValue(ValueKind::KeySwitchHint, 1 << 20, "ksh");
+    for (int i = 0; i < 5; ++i) {
+        const auto out = p.addValue(ValueKind::Intermediate, 1024, "t");
+        PolyInst inst;
+        inst.mnemonic = "use";
+        inst.n = p.n;
+        inst.fus = {{FuType::Multiply, 1, 1024}};
+        inst.reads = {ksh};
+        inst.writes = {out};
+        inst.duration = 100;
+        inst.rfPorts = 2;
+        p.addInst(std::move(inst));
+    }
+    Simulator sim(ChipConfig::craterLake());
+    auto stats = sim.run(p);
+    EXPECT_EQ(stats.kshLoadWords, 1u << 20); // loaded exactly once
+}
+
+TEST(Simulator, CapacityEvictionCausesReload)
+{
+    // Two large hints that cannot both fit alternate -> reloads.
+    ChipConfig cfg = ChipConfig::withRfMB(16);
+    const std::uint64_t big = cfg.rfWords() * 6 / 10;
+    Program p;
+    p.n = 1 << 16;
+    const auto a = p.addValue(ValueKind::KeySwitchHint, big, "a");
+    const auto b = p.addValue(ValueKind::KeySwitchHint, big, "b");
+    for (int i = 0; i < 4; ++i) {
+        const auto out = p.addValue(ValueKind::Intermediate, 16, "t");
+        PolyInst inst;
+        inst.mnemonic = "use";
+        inst.n = p.n;
+        inst.fus = {{FuType::Multiply, 1, 16}};
+        inst.reads = {i % 2 == 0 ? a : b};
+        inst.writes = {out};
+        inst.duration = 10;
+        inst.rfPorts = 2;
+        p.addInst(std::move(inst));
+    }
+    Simulator sim(cfg);
+    auto stats = sim.run(p);
+    EXPECT_EQ(stats.kshLoadWords, 4 * big); // reloaded every time
+}
+
+TEST(Simulator, DirtyIntermediateSpills)
+{
+    // A live intermediate evicted under pressure must be written back.
+    ChipConfig cfg = ChipConfig::withRfMB(16);
+    const std::uint64_t big = cfg.rfWords() * 6 / 10;
+    Program p;
+    p.n = 1 << 16;
+    const auto in = p.addValue(ValueKind::Input, 16, "in");
+    const auto t1 = p.addValue(ValueKind::Intermediate, big, "t1");
+    const auto k = p.addValue(ValueKind::KeySwitchHint, big, "k");
+    const auto t2 = p.addValue(ValueKind::Intermediate, 16, "t2");
+    const auto t3 = p.addValue(ValueKind::Intermediate, 16, "t3");
+
+    PolyInst produce;
+    produce.mnemonic = "produce";
+    produce.n = p.n;
+    produce.fus = {{FuType::Add, 1, 16}};
+    produce.reads = {in};
+    produce.writes = {t1};
+    produce.duration = 10;
+    p.addInst(std::move(produce));
+
+    PolyInst other; // forces t1 out
+    other.mnemonic = "other";
+    other.n = p.n;
+    other.fus = {{FuType::Add, 1, 16}};
+    other.reads = {k};
+    other.writes = {t2};
+    other.duration = 10;
+    p.addInst(std::move(other));
+
+    PolyInst consume; // t1 reloaded
+    consume.mnemonic = "consume";
+    consume.n = p.n;
+    consume.fus = {{FuType::Add, 1, 16}};
+    consume.reads = {t1};
+    consume.writes = {t3};
+    consume.duration = 10;
+    p.addInst(std::move(consume));
+
+    Simulator sim(cfg);
+    auto stats = sim.run(p);
+    EXPECT_EQ(stats.intermStoreWords, big);
+    EXPECT_EQ(stats.intermLoadWords, big);
+}
+
+TEST(Simulator, NetworkBandwidthLimits)
+{
+    // An op moving many network words is stretched by network time.
+    Program p;
+    p.n = 1 << 16;
+    const auto in = p.addValue(ValueKind::Input, 1024, "in");
+    const auto out = p.addValue(ValueKind::Intermediate, 1024, "out");
+    PolyInst inst;
+    inst.mnemonic = "ntt";
+    inst.n = p.n;
+    inst.fus = {{FuType::Ntt, 1, 1024}};
+    inst.reads = {in};
+    inst.writes = {out};
+    inst.duration = 10;
+    inst.networkWords = 1 << 24;
+    p.addInst(std::move(inst));
+    // A second network op must wait for the first transfer.
+    const auto out2 = p.addValue(ValueKind::Intermediate, 1024, "out2");
+    PolyInst inst2 = p.insts[0];
+    inst2.writes = {out2};
+    inst2.id = 0;
+    p.addInst(std::move(inst2));
+
+    ChipConfig cfg = ChipConfig::craterLake();
+    Simulator sim(cfg);
+    auto stats = sim.run(p);
+    const auto net_cycles = static_cast<std::uint64_t>(
+        (1 << 24) / cfg.networkWordsPerCycle());
+    EXPECT_GE(stats.cycles, net_cycles);
+    EXPECT_EQ(stats.networkWords, 2u << 24);
+}
+
+TEST(Simulator, CrossbarInflatesTraffic)
+{
+    Program p;
+    p.n = 1 << 16;
+    const auto in = p.addValue(ValueKind::Input, 1024, "in");
+    const auto out = p.addValue(ValueKind::Intermediate, 1024, "out");
+    PolyInst inst;
+    inst.mnemonic = "ntt";
+    inst.n = p.n;
+    inst.fus = {{FuType::Ntt, 1, 1024}};
+    inst.reads = {in};
+    inst.writes = {out};
+    inst.duration = 10;
+    inst.networkWords = 1000000;
+    p.addInst(std::move(inst));
+
+    Simulator fixed(ChipConfig::craterLake());
+    Simulator xbar(ChipConfig::crossbarNetwork());
+    const auto s1 = fixed.run(p);
+    const auto s2 = xbar.run(p);
+    // Residue-polynomial tiling incurs 2.4x the traffic (Sec 4.3).
+    EXPECT_NEAR(static_cast<double>(s2.networkWords) / s1.networkWords,
+                2.4, 0.01);
+}
+
+TEST(Simulator, EnergyAccountingConsistent)
+{
+    const ChipConfig cfg = ChipConfig::craterLake();
+    Simulator sim(cfg);
+    auto stats = sim.run(singleInstProgram(1000));
+    const EnergyBreakdown e = stats.energy(cfg);
+    EXPECT_GT(e.total(), 0.0);
+    EXPECT_GT(e.hbm, 0.0);
+    EXPECT_GT(stats.avgPowerWatts(cfg), 0.0);
+}
+
+} // namespace
+} // namespace cl

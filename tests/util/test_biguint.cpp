@@ -1,0 +1,98 @@
+/** Tests for the minimal big-integer used in keyswitch-hint setup. */
+
+#include <gtest/gtest.h>
+
+#include "util/biguint.h"
+#include "util/prng.h"
+
+namespace cl {
+namespace {
+
+TEST(BigUint, SmallValues)
+{
+    BigUint a(5);
+    a.mulU64(7);
+    EXPECT_EQ(a.modU64(100), 35u);
+    a.addU64(65);
+    EXPECT_EQ(a.modU64(1000), 100u);
+}
+
+TEST(BigUint, ProductAndMod)
+{
+    std::vector<std::uint64_t> primes = {1000003, 1000033, 1000037,
+                                         1000039};
+    BigUint q = BigUint::product(primes);
+    // q mod each factor is zero.
+    for (auto p : primes)
+        EXPECT_EQ(q.modU64(p), 0u);
+    // q mod a coprime modulus matches a direct 128-bit computation
+    // done pairwise.
+    const std::uint64_t m = 998244353;
+    unsigned __int128 r = 1;
+    for (auto p : primes)
+        r = r * (p % m) % m;
+    EXPECT_EQ(q.modU64(m), static_cast<std::uint64_t>(r));
+}
+
+TEST(BigUint, AddSubRoundTrip)
+{
+    BigUint a = BigUint::product({0xffffffffffffffc5ULL, 0xfffffffbULL});
+    BigUint b = BigUint::product({12345678901234567ULL});
+    BigUint c = a;
+    c += b;
+    c -= b;
+    EXPECT_TRUE(c == a);
+}
+
+TEST(BigUint, CompareOrdering)
+{
+    BigUint a(100), b(200);
+    EXPECT_TRUE(a < b);
+    EXPECT_TRUE(b >= a);
+    BigUint big = BigUint::product({1ULL << 40, 1ULL << 40});
+    EXPECT_TRUE(a < big);
+    EXPECT_TRUE(big >= b);
+}
+
+TEST(BigUint, CarryPropagation)
+{
+    BigUint a(~0ULL);
+    a.addU64(1); // now exactly 2^64
+    const std::uint64_t m = (1ULL << 62) - 57;
+    // 2^64 mod m computed via 128-bit arithmetic.
+    const std::uint64_t expect =
+        static_cast<std::uint64_t>(((unsigned __int128)1 << 64) % m);
+    EXPECT_EQ(a.modU64(m), expect);
+    EXPECT_EQ(a.log2Floor(), 64);
+}
+
+TEST(BigUint, BitLengthOfPrimeProducts)
+{
+    // Product of eight ~2^28 primes has ~224 bits.
+    std::vector<std::uint64_t> ps(8, (1ULL << 28) - 57);
+    BigUint q = BigUint::product(ps);
+    EXPECT_NEAR(q.bitLength(), 8 * 28.0, 0.1);
+}
+
+TEST(BigUint, ModularReductionBySubtraction)
+{
+    // Mimics the keyswitch setup: reduce a sum below a big modulus.
+    BigUint qj = BigUint::product({1000003, 1000033});
+    BigUint v = BigUint::product({1000003, 1000033});
+    v.mulU64(3);
+    v.addU64(12345);
+    while (v >= qj)
+        v -= qj;
+    EXPECT_EQ(v.modU64(1000003), 12345u % 1000003);
+    EXPECT_EQ(v.modU64(1000033), 12345u % 1000033);
+}
+
+TEST(BigUint, HexRendering)
+{
+    BigUint a(0xdeadbeefULL);
+    EXPECT_EQ(a.toHex(), "0xdeadbeef");
+    EXPECT_EQ(BigUint(0).toHex(), "0x0");
+}
+
+} // namespace
+} // namespace cl

@@ -1,0 +1,136 @@
+/** Tests for the Keccak/SHAKE PRNG and rejection sampler (KSHGen twin). */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <map>
+
+#include "util/prng.h"
+
+namespace cl {
+namespace {
+
+TEST(Keccak, KnownAnswerAllZeroState)
+{
+    // Keccak-f[1600] applied to the all-zero state; first lane of the
+    // result is the well-known constant 0xF1258F7940E1DDE7.
+    std::array<std::uint64_t, 25> st{};
+    keccakF1600(st);
+    EXPECT_EQ(st[0], 0xF1258F7940E1DDE7ULL);
+    EXPECT_EQ(st[1], 0x84D5CCF933C0478AULL);
+    EXPECT_EQ(st[2], 0xD598261EA65AA9EEULL);
+}
+
+TEST(Shake128Stream, DeterministicForSameSeed)
+{
+    Shake128Stream a(123, 7), b(123, 7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Shake128Stream, DomainsSeparateStreams)
+{
+    Shake128Stream a(123, 7), b(123, 8);
+    bool all_equal = true;
+    for (int i = 0; i < 16; ++i)
+        all_equal &= a.next64() == b.next64();
+    EXPECT_FALSE(all_equal);
+}
+
+TEST(Shake128Stream, SeedsSeparateStreams)
+{
+    Shake128Stream a(1, 0), b(2, 0);
+    EXPECT_NE(a.next64(), b.next64());
+}
+
+TEST(Shake128Stream, CrossesBlockBoundary)
+{
+    Shake128Stream a(9, 9);
+    // 168-byte rate = 21 words; squeeze well past several blocks.
+    std::uint64_t acc = 0;
+    for (int i = 0; i < 100; ++i)
+        acc ^= a.next64();
+    EXPECT_NE(acc, 0u);
+    EXPECT_EQ(a.wordsSqueezed(), 100u);
+}
+
+TEST(Shake128Stream, NextBitsMasks)
+{
+    Shake128Stream a(5, 5);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_LT(a.nextBits(28), 1ULL << 28);
+}
+
+TEST(RejectionSampler, UniformModPrime)
+{
+    const std::uint64_t q = 268369921; // 28-bit NTT prime
+    RejectionSampler s(1, 1, q);
+    const int n = 50000;
+    double sum = 0;
+    for (int i = 0; i < n; ++i) {
+        std::uint64_t v = s.next();
+        ASSERT_LT(v, q);
+        sum += static_cast<double>(v);
+    }
+    // Mean should be close to q/2 (within 2% for n=50k).
+    EXPECT_NEAR(sum / n, q / 2.0, 0.02 * q);
+}
+
+TEST(RejectionSampler, RejectionRateMatchesExtraBits)
+{
+    // With 2 extra bits, rejection probability < 2^-2.
+    const std::uint64_t q = (1ULL << 27) + 29; // just above a power of 2
+    RejectionSampler s(3, 3, q, 2);
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        s.next();
+    const double reject_rate =
+        1.0 - static_cast<double>(s.accepted()) /
+                  static_cast<double>(s.attempts());
+    EXPECT_LT(reject_rate, 0.25);
+}
+
+TEST(RejectionSampler, Deterministic)
+{
+    RejectionSampler a(7, 9, 268369921), b(7, 9, 268369921);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(FastRng, TernaryBalanced)
+{
+    FastRng rng(11);
+    std::map<int, int> counts;
+    const int n = 30000;
+    for (int i = 0; i < n; ++i)
+        counts[rng.nextTernary()]++;
+    for (int v : {-1, 0, 1})
+        EXPECT_NEAR(counts[v], n / 3.0, n * 0.03);
+}
+
+TEST(FastRng, CbdMeanAndVariance)
+{
+    FastRng rng(13);
+    const int n = 50000;
+    double sum = 0, sum2 = 0;
+    for (int i = 0; i < n; ++i) {
+        int v = rng.nextCbd(21);
+        sum += v;
+        sum2 += static_cast<double>(v) * v;
+    }
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.2);
+    EXPECT_NEAR(var, 21.0 / 2.0, 0.8);
+}
+
+TEST(FastRng, NextBelowRange)
+{
+    FastRng rng(17);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(97), 97u);
+}
+
+} // namespace
+} // namespace cl

@@ -1,0 +1,53 @@
+/** Tests for the console table renderer. */
+
+#include <gtest/gtest.h>
+
+#include "util/table.h"
+
+namespace cl {
+namespace {
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-name", "22"});
+    const std::string out = t.render();
+    // Header present, separator present, both rows present.
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    // Each line has the same position for the second column start.
+    const auto first_line_end = out.find('\n');
+    EXPECT_NE(first_line_end, std::string::npos);
+}
+
+TEST(TextTable, SeparatorRows)
+{
+    TextTable t({"xyz"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    const std::string out = t.render();
+    // Two separator lines total (header + explicit), each a run of
+    // dashes spanning the column width.
+    std::size_t count = 0, pos = 0;
+    while ((pos = out.find("---", pos)) != std::string::npos) {
+        ++count;
+        pos = out.find('\n', pos);
+        if (pos == std::string::npos)
+            break;
+    }
+    EXPECT_EQ(count, 2u);
+}
+
+TEST(TextTable, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(1000.0, 0), "1000");
+    EXPECT_EQ(TextTable::speedup(11.24), "11.24x");
+    EXPECT_EQ(TextTable::speedup(4611.0), "4611x");
+}
+
+} // namespace
+} // namespace cl
