@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_keyswitch_ops"
+  "../bench/table1_keyswitch_ops.pdb"
+  "CMakeFiles/table1_keyswitch_ops.dir/table1_keyswitch_ops.cpp.o"
+  "CMakeFiles/table1_keyswitch_ops.dir/table1_keyswitch_ops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_keyswitch_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_area"
+  "../bench/table2_area.pdb"
+  "CMakeFiles/table2_area.dir/table2_area.cpp.o"
+  "CMakeFiles/table2_area.dir/table2_area.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_performance.cpp" "bench_build/CMakeFiles/table3_performance.dir/table3_performance.cpp.o" "gcc" "bench_build/CMakeFiles/table3_performance.dir/table3_performance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cl_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/cl_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/cl_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cl_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cl_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckks/CMakeFiles/cl_ckks.dir/DependInfo.cmake"
+  "/root/repo/build/src/poly/CMakeFiles/cl_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/rns/CMakeFiles/cl_rns.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

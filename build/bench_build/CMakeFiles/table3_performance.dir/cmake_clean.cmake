@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_performance"
+  "../bench/table3_performance.pdb"
+  "CMakeFiles/table3_performance.dir/table3_performance.cpp.o"
+  "CMakeFiles/table3_performance.dir/table3_performance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_ablations"
+  "../bench/table4_ablations.pdb"
+  "CMakeFiles/table4_ablations.dir/table4_ablations.cpp.o"
+  "CMakeFiles/table4_ablations.dir/table4_ablations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

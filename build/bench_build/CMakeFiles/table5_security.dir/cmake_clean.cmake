@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_security"
+  "../bench/table5_security.pdb"
+  "CMakeFiles/table5_security.dir/table5_security.cpp.o"
+  "CMakeFiles/table5_security.dir/table5_security.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/keyswitch_variants"
+  "../examples/keyswitch_variants.pdb"
+  "CMakeFiles/keyswitch_variants.dir/keyswitch_variants.cpp.o"
+  "CMakeFiles/keyswitch_variants.dir/keyswitch_variants.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyswitch_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

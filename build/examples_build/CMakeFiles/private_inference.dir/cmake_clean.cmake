@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/private_inference"
+  "../examples/private_inference.pdb"
+  "CMakeFiles/private_inference.dir/private_inference.cpp.o"
+  "CMakeFiles/private_inference.dir/private_inference.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

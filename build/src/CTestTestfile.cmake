@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("rns")
+subdirs("poly")
+subdirs("ckks")
+subdirs("isa")
+subdirs("hw")
+subdirs("sim")
+subdirs("compiler")
+subdirs("baseline")
+subdirs("workloads")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cl_baseline.dir/cpumodel.cpp.o"
+  "CMakeFiles/cl_baseline.dir/cpumodel.cpp.o.d"
+  "libcl_baseline.a"
+  "libcl_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cl_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ckks/bootstrap.cpp" "src/ckks/CMakeFiles/cl_ckks.dir/bootstrap.cpp.o" "gcc" "src/ckks/CMakeFiles/cl_ckks.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/ckks/context.cpp" "src/ckks/CMakeFiles/cl_ckks.dir/context.cpp.o" "gcc" "src/ckks/CMakeFiles/cl_ckks.dir/context.cpp.o.d"
+  "/root/repo/src/ckks/encoder.cpp" "src/ckks/CMakeFiles/cl_ckks.dir/encoder.cpp.o" "gcc" "src/ckks/CMakeFiles/cl_ckks.dir/encoder.cpp.o.d"
+  "/root/repo/src/ckks/encryptor.cpp" "src/ckks/CMakeFiles/cl_ckks.dir/encryptor.cpp.o" "gcc" "src/ckks/CMakeFiles/cl_ckks.dir/encryptor.cpp.o.d"
+  "/root/repo/src/ckks/evaluator.cpp" "src/ckks/CMakeFiles/cl_ckks.dir/evaluator.cpp.o" "gcc" "src/ckks/CMakeFiles/cl_ckks.dir/evaluator.cpp.o.d"
+  "/root/repo/src/ckks/keygen.cpp" "src/ckks/CMakeFiles/cl_ckks.dir/keygen.cpp.o" "gcc" "src/ckks/CMakeFiles/cl_ckks.dir/keygen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/poly/CMakeFiles/cl_poly.dir/DependInfo.cmake"
+  "/root/repo/build/src/rns/CMakeFiles/cl_rns.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

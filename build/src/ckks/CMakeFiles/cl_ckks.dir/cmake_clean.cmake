@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cl_ckks.dir/bootstrap.cpp.o"
+  "CMakeFiles/cl_ckks.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/cl_ckks.dir/context.cpp.o"
+  "CMakeFiles/cl_ckks.dir/context.cpp.o.d"
+  "CMakeFiles/cl_ckks.dir/encoder.cpp.o"
+  "CMakeFiles/cl_ckks.dir/encoder.cpp.o.d"
+  "CMakeFiles/cl_ckks.dir/encryptor.cpp.o"
+  "CMakeFiles/cl_ckks.dir/encryptor.cpp.o.d"
+  "CMakeFiles/cl_ckks.dir/evaluator.cpp.o"
+  "CMakeFiles/cl_ckks.dir/evaluator.cpp.o.d"
+  "CMakeFiles/cl_ckks.dir/keygen.cpp.o"
+  "CMakeFiles/cl_ckks.dir/keygen.cpp.o.d"
+  "libcl_ckks.a"
+  "libcl_ckks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cl_ckks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cl_compiler.dir/homprogram.cpp.o"
+  "CMakeFiles/cl_compiler.dir/homprogram.cpp.o.d"
+  "CMakeFiles/cl_compiler.dir/lower.cpp.o"
+  "CMakeFiles/cl_compiler.dir/lower.cpp.o.d"
+  "libcl_compiler.a"
+  "libcl_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cl_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

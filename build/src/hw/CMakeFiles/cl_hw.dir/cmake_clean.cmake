@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cl_hw.dir/area.cpp.o"
+  "CMakeFiles/cl_hw.dir/area.cpp.o.d"
+  "CMakeFiles/cl_hw.dir/config.cpp.o"
+  "CMakeFiles/cl_hw.dir/config.cpp.o.d"
+  "CMakeFiles/cl_hw.dir/energy.cpp.o"
+  "CMakeFiles/cl_hw.dir/energy.cpp.o.d"
+  "libcl_hw.a"
+  "libcl_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cl_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

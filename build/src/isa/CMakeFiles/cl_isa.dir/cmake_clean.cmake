@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cl_isa.dir/program.cpp.o"
+  "CMakeFiles/cl_isa.dir/program.cpp.o.d"
+  "libcl_isa.a"
+  "libcl_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cl_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcl_isa.a"
+)

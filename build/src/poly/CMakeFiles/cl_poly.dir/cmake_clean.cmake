@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cl_poly.dir/rnspoly.cpp.o"
+  "CMakeFiles/cl_poly.dir/rnspoly.cpp.o.d"
+  "libcl_poly.a"
+  "libcl_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cl_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

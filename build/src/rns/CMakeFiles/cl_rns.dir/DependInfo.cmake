@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rns/automorphism.cpp" "src/rns/CMakeFiles/cl_rns.dir/automorphism.cpp.o" "gcc" "src/rns/CMakeFiles/cl_rns.dir/automorphism.cpp.o.d"
+  "/root/repo/src/rns/baseconv.cpp" "src/rns/CMakeFiles/cl_rns.dir/baseconv.cpp.o" "gcc" "src/rns/CMakeFiles/cl_rns.dir/baseconv.cpp.o.d"
+  "/root/repo/src/rns/chain.cpp" "src/rns/CMakeFiles/cl_rns.dir/chain.cpp.o" "gcc" "src/rns/CMakeFiles/cl_rns.dir/chain.cpp.o.d"
+  "/root/repo/src/rns/ntt.cpp" "src/rns/CMakeFiles/cl_rns.dir/ntt.cpp.o" "gcc" "src/rns/CMakeFiles/cl_rns.dir/ntt.cpp.o.d"
+  "/root/repo/src/rns/primes.cpp" "src/rns/CMakeFiles/cl_rns.dir/primes.cpp.o" "gcc" "src/rns/CMakeFiles/cl_rns.dir/primes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cl_rns.dir/automorphism.cpp.o"
+  "CMakeFiles/cl_rns.dir/automorphism.cpp.o.d"
+  "CMakeFiles/cl_rns.dir/baseconv.cpp.o"
+  "CMakeFiles/cl_rns.dir/baseconv.cpp.o.d"
+  "CMakeFiles/cl_rns.dir/chain.cpp.o"
+  "CMakeFiles/cl_rns.dir/chain.cpp.o.d"
+  "CMakeFiles/cl_rns.dir/ntt.cpp.o"
+  "CMakeFiles/cl_rns.dir/ntt.cpp.o.d"
+  "CMakeFiles/cl_rns.dir/primes.cpp.o"
+  "CMakeFiles/cl_rns.dir/primes.cpp.o.d"
+  "libcl_rns.a"
+  "libcl_rns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cl_rns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

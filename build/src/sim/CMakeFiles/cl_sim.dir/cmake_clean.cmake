@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cl_sim.dir/simulator.cpp.o"
+  "CMakeFiles/cl_sim.dir/simulator.cpp.o.d"
+  "libcl_sim.a"
+  "libcl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cl_util.dir/biguint.cpp.o"
+  "CMakeFiles/cl_util.dir/biguint.cpp.o.d"
+  "CMakeFiles/cl_util.dir/prng.cpp.o"
+  "CMakeFiles/cl_util.dir/prng.cpp.o.d"
+  "CMakeFiles/cl_util.dir/table.cpp.o"
+  "CMakeFiles/cl_util.dir/table.cpp.o.d"
+  "libcl_util.a"
+  "libcl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

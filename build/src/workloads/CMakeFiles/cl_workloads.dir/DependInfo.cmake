@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/benchmarks.cpp" "src/workloads/CMakeFiles/cl_workloads.dir/benchmarks.cpp.o" "gcc" "src/workloads/CMakeFiles/cl_workloads.dir/benchmarks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/cl_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/cl_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cl_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cl_workloads.dir/benchmarks.cpp.o"
+  "CMakeFiles/cl_workloads.dir/benchmarks.cpp.o.d"
+  "libcl_workloads.a"
+  "libcl_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cl_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

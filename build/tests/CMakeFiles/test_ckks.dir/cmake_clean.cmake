@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ckks.dir/ckks/test_bootstrap.cpp.o"
+  "CMakeFiles/test_ckks.dir/ckks/test_bootstrap.cpp.o.d"
+  "CMakeFiles/test_ckks.dir/ckks/test_encoder.cpp.o"
+  "CMakeFiles/test_ckks.dir/ckks/test_encoder.cpp.o.d"
+  "CMakeFiles/test_ckks.dir/ckks/test_keyswitch.cpp.o"
+  "CMakeFiles/test_ckks.dir/ckks/test_keyswitch.cpp.o.d"
+  "CMakeFiles/test_ckks.dir/ckks/test_scheme.cpp.o"
+  "CMakeFiles/test_ckks.dir/ckks/test_scheme.cpp.o.d"
+  "test_ckks"
+  "test_ckks.pdb"
+  "test_ckks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ckks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rns.dir/rns/test_automorphism.cpp.o"
+  "CMakeFiles/test_rns.dir/rns/test_automorphism.cpp.o.d"
+  "CMakeFiles/test_rns.dir/rns/test_baseconv.cpp.o"
+  "CMakeFiles/test_rns.dir/rns/test_baseconv.cpp.o.d"
+  "CMakeFiles/test_rns.dir/rns/test_modarith.cpp.o"
+  "CMakeFiles/test_rns.dir/rns/test_modarith.cpp.o.d"
+  "CMakeFiles/test_rns.dir/rns/test_ntt.cpp.o"
+  "CMakeFiles/test_rns.dir/rns/test_ntt.cpp.o.d"
+  "CMakeFiles/test_rns.dir/rns/test_primes.cpp.o"
+  "CMakeFiles/test_rns.dir/rns/test_primes.cpp.o.d"
+  "test_rns"
+  "test_rns.pdb"
+  "test_rns[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
