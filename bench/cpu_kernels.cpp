@@ -8,10 +8,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include "poly/rnspoly.h"
 #include "rns/baseconv.h"
 #include "rns/ntt.h"
 #include "rns/primes.h"
 #include "util/prng.h"
+#include "util/threadpool.h"
 
 namespace {
 
@@ -93,6 +95,80 @@ BM_Intt(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * n / 2 * log2Exact(n));
 }
 BENCHMARK(BM_Intt)->Arg(12)->Arg(16);
+
+void
+BM_NttBatch(benchmark::State &state)
+{
+    // The tier-1 hot loop: forward NTT over a full RNS polynomial
+    // (16 towers of N=2^16), swept across worker counts. Towers are
+    // independent across moduli, so this is the tower-parallelism the
+    // execution layer (and CraterLake's lanes) exploit.
+    const unsigned nthreads = static_cast<unsigned>(state.range(0));
+    const std::size_t n = std::size_t{1} << 16;
+    const std::size_t towers = 16;
+    ThreadPool::setGlobalThreads(nthreads);
+
+    auto primes = generateNttPrimes(28, n, towers);
+    RnsChain chain(n, primes);
+    std::vector<unsigned> idx;
+    for (unsigned i = 0; i < towers; ++i)
+        idx.push_back(i);
+    RnsPoly p(chain, idx, false);
+    FastRng rng(6);
+    for (std::size_t t = 0; t < towers; ++t) {
+        for (auto &v : p.residue(t))
+            v = rng.nextBelow(p.modulus(t));
+    }
+
+    for (auto _ : state) {
+        // One forward+inverse round trip per iteration keeps the
+        // input valid without a copy inside the timed region.
+        p.toNtt();
+        p.toCoeff();
+        benchmark::DoNotOptimize(p.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * towers * n *
+                            log2Exact(n)); // butterflies, fwd+inv
+    state.counters["workers"] = nthreads;
+    ThreadPool::setGlobalThreads(1);
+}
+BENCHMARK(BM_NttBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_KeySwitchInnerParallel(benchmark::State &state)
+{
+    // changeRNSBase at keyswitch shape (8 -> 8 towers) across worker
+    // counts; the MAC loops fan out per destination tower.
+    const unsigned nthreads = static_cast<unsigned>(state.range(0));
+    const std::size_t n = 1 << 14;
+    const unsigned ls = 8;
+    ThreadPool::setGlobalThreads(nthreads);
+    auto primes = generateNttPrimes(28, n, 2 * ls);
+    RnsChain chain(n, primes);
+    std::vector<unsigned> src, dst;
+    for (unsigned i = 0; i < ls; ++i) {
+        src.push_back(i);
+        dst.push_back(ls + i);
+    }
+    BaseConverter conv(chain, src, dst);
+    std::vector<std::vector<u64>> in(ls, std::vector<u64>(n));
+    FastRng rng(7);
+    for (auto &res : in) {
+        for (auto &v : res)
+            v = rng.nextBelow(primes[0]);
+    }
+    std::vector<std::vector<u64>> out;
+    for (auto _ : state) {
+        conv.convert(in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * ls * ls);
+    state.counters["workers"] = nthreads;
+    ThreadPool::setGlobalThreads(1);
+}
+BENCHMARK(BM_KeySwitchInnerParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_ChangeRnsBase(benchmark::State &state)

@@ -82,6 +82,7 @@ CkksContext::converter(const std::vector<unsigned> &src,
                        const std::vector<unsigned> &dst) const
 {
     auto key = std::make_pair(src, dst);
+    std::lock_guard<std::mutex> lk(convertersMutex_);
     auto it = converters_.find(key);
     if (it == converters_.end()) {
         it = converters_

@@ -10,6 +10,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "ckks/params.h"
@@ -73,6 +74,7 @@ class CkksContext
     CkksParams params_;
     std::unique_ptr<RnsChain> chain_;
     std::vector<u64> pModQ_;
+    mutable std::mutex convertersMutex_;
     mutable std::map<std::pair<std::vector<unsigned>, std::vector<unsigned>>,
                      std::unique_ptr<BaseConverter>>
         converters_;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/biguint.h"
+#include "util/threadpool.h"
 
 namespace cl {
 
@@ -118,14 +119,14 @@ CkksEncoder::encode(const std::vector<Complex> &values, double scale,
     const std::size_t nh = n / 2;
     const std::size_t gap = nh / used;
     RnsPoly out(ctx_.chain(), ctx_.dataIdx(l_cur), false);
-    for (std::size_t t = 0; t < out.towers(); ++t) {
+    parallelFor(0, out.towers(), [&](std::size_t t) {
         const u64 q = out.modulus(t);
         u64 *c = out.residue(t).data();
         for (std::size_t i = 0, idx = 0; i < used; ++i, idx += gap) {
             c[idx] = scaleToMod(vals[i].real() * scale, q);
             c[idx + nh] = scaleToMod(vals[i].imag() * scale, q);
         }
-    }
+    });
     return out;
 }
 
@@ -207,12 +208,12 @@ CkksEncoder::encodeCoeffs(const std::vector<double> &coeffs, double scale,
     const std::size_t n = ctx_.n();
     CL_ASSERT(coeffs.size() <= n);
     RnsPoly out(ctx_.chain(), ctx_.dataIdx(l_cur), false);
-    for (std::size_t t = 0; t < out.towers(); ++t) {
+    parallelFor(0, out.towers(), [&](std::size_t t) {
         const u64 q = out.modulus(t);
         u64 *c = out.residue(t).data();
         for (std::size_t i = 0; i < coeffs.size(); ++i)
             c[i] = scaleToMod(coeffs[i] * scale, q);
-    }
+    });
     return out;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/threadpool.h"
+
 namespace cl {
 
 Evaluator::Evaluator(const CkksContext &ctx) : ctx_(ctx) {}
@@ -152,9 +154,9 @@ Evaluator::keySwitch(const RnsPoly &d, const SwitchKey &ksk) const
         }
 
         // Listing 1, lines 3-4: changeRNSBase to the complement, then
-        // NTT the raised residues.
+        // NTT the raised residues (one worker per tower).
         const BaseConverter &conv = ctx_.converter(digit_idx, comp_idx);
-        std::vector<std::vector<u64>> digit_res;
+        std::vector<BaseConverter::ResidueView> digit_res;
         for (unsigned i : digit_idx)
             digit_res.push_back(d_coeff.residue(i));
         std::vector<std::vector<u64>> raised;
@@ -162,25 +164,25 @@ Evaluator::keySwitch(const RnsPoly &d, const SwitchKey &ksk) const
         ops.polyMults += digit_idx.size() +
                          digit_idx.size() * comp_idx.size();
         ops.polyAdds += digit_idx.size() * comp_idx.size();
+        ops.ntts += comp_idx.size();
 
-        RnsPoly u(ctx_.chain(), ext_idx, true);
-        for (std::size_t t = 0; t < ext_idx.size(); ++t) {
+        RnsPoly u(RnsPoly::Uninit{}, ctx_.chain(), ext_idx, true);
+        parallelFor(0, ext_idx.size(), [&](std::size_t t) {
             const unsigned ci = ext_idx[t];
             bool in_digit = std::find(digit_idx.begin(), digit_idx.end(),
                                       ci) != digit_idx.end();
             if (in_digit) {
                 // The digit's own residues stay as in the (NTT-form)
                 // input — Listing 1 reuses p[0:L] directly.
-                u.residue(t) = d.residue(ci);
+                u.setResidue(t, d.residue(ci));
             } else {
                 std::size_t k = 0;
                 while (comp_idx[k] != ci)
                     ++k;
-                u.residue(t) = raised[k];
+                u.setResidue(t, raised[k]);
                 ctx_.chain().ntt(ci).forward(u.residue(t).data());
-                ops.ntts += 1;
             }
-        }
+        });
 
         // Listing 1, line 6: MAC with the hint pair.
         RnsPoly kb = ksk.b[j].subset(ext_idx);
@@ -200,15 +202,18 @@ Evaluator::keySwitch(const RnsPoly &d, const SwitchKey &ksk) const
         special.toCoeff();
         ops.ntts += a;
         std::vector<std::vector<u64>> conv_out;
-        down.convert(special.data(), conv_out);
+        down.convert(special.residueViews(), conv_out);
         ops.polyMults += a + a * l;
         ops.polyAdds += a * l;
+        ops.ntts += l;
+        ops.polyMults += l;
+        ops.polyAdds += l;
 
-        RnsPoly out(ctx_.chain(), ctx_.dataIdx(l), true);
-        for (unsigned t = 0; t < l; ++t) {
+        RnsPoly out(RnsPoly::Uninit{}, ctx_.chain(), ctx_.dataIdx(l),
+                    true);
+        parallelFor(0, l, [&](std::size_t t) {
             const u64 q = ctx_.chain().modulus(t);
             ctx_.chain().ntt(t).forward(conv_out[t].data());
-            ops.ntts += 1;
             // P^{-1} for the special primes this hint uses.
             u64 p_mod_q = 1;
             for (unsigned i : special_idx)
@@ -219,9 +224,7 @@ Evaluator::keySwitch(const RnsPoly &d, const SwitchKey &ksk) const
             u64 *dst = out.residue(t).data();
             for (std::size_t i = 0; i < ctx_.n(); ++i)
                 dst[i] = p_inv.mul(subMod(hi[i], lo[i], q), q);
-            ops.polyMults += 1;
-            ops.polyAdds += 1;
-        }
+        });
         acc = std::move(out);
     };
     mod_down(acc0);
@@ -370,12 +373,13 @@ Evaluator::modRaise(const Ciphertext &ct, unsigned target_level) const
         RnsPoly coeff = p;
         coeff.toCoeff();
         std::vector<std::vector<u64>> out;
-        conv.convert(coeff.data(), out);
-        RnsPoly r(ctx_.chain(), ctx_.dataIdx(target_level), false);
+        conv.convert(coeff.residueViews(), out);
+        RnsPoly r(RnsPoly::Uninit{}, ctx_.chain(),
+                  ctx_.dataIdx(target_level), false);
         for (std::size_t t = 0; t < src_idx.size(); ++t)
-            r.residue(t) = coeff.residue(t);
+            r.setResidue(t, coeff.residue(t));
         for (std::size_t t = 0; t < add_idx.size(); ++t)
-            r.residue(src_idx.size() + t) = out[t];
+            r.setResidue(src_idx.size() + t, out[t]);
         r.toNtt();
         return r;
     };

@@ -1,13 +1,35 @@
 #include "rnspoly.h"
 
+#include "util/threadpool.h"
+
 namespace cl {
 
 RnsPoly::RnsPoly(const RnsChain &chain, std::vector<unsigned> mod_idx,
                  bool ntt_form)
-    : chain_(&chain), modIdx_(std::move(mod_idx)), ntt_(ntt_form)
+    : chain_(&chain), modIdx_(std::move(mod_idx)), n_(chain.n()),
+      ntt_(ntt_form)
 {
     CL_ASSERT(!modIdx_.empty(), "polynomial needs at least one tower");
-    rns_.assign(modIdx_.size(), std::vector<u64>(chain.n(), 0));
+    data_.assign(modIdx_.size() * n_, 0);
+}
+
+RnsPoly::RnsPoly(Uninit, const RnsChain &chain,
+                 std::vector<unsigned> mod_idx, bool ntt_form)
+    : chain_(&chain), modIdx_(std::move(mod_idx)), n_(chain.n()),
+      ntt_(ntt_form)
+{
+    CL_ASSERT(!modIdx_.empty(), "polynomial needs at least one tower");
+    data_.resize(modIdx_.size() * n_); // left uninitialized
+}
+
+std::vector<std::span<const u64>>
+RnsPoly::residueViews() const
+{
+    std::vector<std::span<const u64>> views;
+    views.reserve(towers());
+    for (std::size_t t = 0; t < towers(); ++t)
+        views.push_back(residue(t));
+    return views;
 }
 
 void
@@ -24,8 +46,9 @@ RnsPoly::toNtt()
 {
     if (ntt_)
         return;
-    for (std::size_t t = 0; t < towers(); ++t)
-        chain_->ntt(modIdx_[t]).forward(rns_[t].data());
+    parallelFor(0, towers(), [&](std::size_t t) {
+        chain_->ntt(modIdx_[t]).forward(data_.data() + t * n_);
+    });
     ntt_ = true;
 }
 
@@ -34,8 +57,9 @@ RnsPoly::toCoeff()
 {
     if (!ntt_)
         return;
-    for (std::size_t t = 0; t < towers(); ++t)
-        chain_->ntt(modIdx_[t]).inverse(rns_[t].data());
+    parallelFor(0, towers(), [&](std::size_t t) {
+        chain_->ntt(modIdx_[t]).inverse(data_.data() + t * n_);
+    });
     ntt_ = false;
 }
 
@@ -43,13 +67,13 @@ RnsPoly &
 RnsPoly::operator+=(const RnsPoly &other)
 {
     checkCompatible(other);
-    for (std::size_t t = 0; t < towers(); ++t) {
+    parallelFor(0, towers(), [&](std::size_t t) {
         const u64 q = modulus(t);
-        u64 *a = rns_[t].data();
-        const u64 *b = other.rns_[t].data();
-        for (std::size_t i = 0; i < n(); ++i)
+        u64 *a = data_.data() + t * n_;
+        const u64 *b = other.data_.data() + t * n_;
+        for (std::size_t i = 0; i < n_; ++i)
             a[i] = addMod(a[i], b[i], q);
-    }
+    });
     return *this;
 }
 
@@ -57,13 +81,13 @@ RnsPoly &
 RnsPoly::operator-=(const RnsPoly &other)
 {
     checkCompatible(other);
-    for (std::size_t t = 0; t < towers(); ++t) {
+    parallelFor(0, towers(), [&](std::size_t t) {
         const u64 q = modulus(t);
-        u64 *a = rns_[t].data();
-        const u64 *b = other.rns_[t].data();
-        for (std::size_t i = 0; i < n(); ++i)
+        u64 *a = data_.data() + t * n_;
+        const u64 *b = other.data_.data() + t * n_;
+        for (std::size_t i = 0; i < n_; ++i)
             a[i] = subMod(a[i], b[i], q);
-    }
+    });
     return *this;
 }
 
@@ -72,31 +96,32 @@ RnsPoly::operator*=(const RnsPoly &other)
 {
     checkCompatible(other);
     CL_ASSERT(ntt_, "element-wise multiply requires NTT form");
-    for (std::size_t t = 0; t < towers(); ++t) {
+    parallelFor(0, towers(), [&](std::size_t t) {
         const u64 q = modulus(t);
-        u64 *a = rns_[t].data();
-        const u64 *b = other.rns_[t].data();
-        for (std::size_t i = 0; i < n(); ++i)
+        u64 *a = data_.data() + t * n_;
+        const u64 *b = other.data_.data() + t * n_;
+        for (std::size_t i = 0; i < n_; ++i)
             a[i] = mulMod(a[i], b[i], q);
-    }
+    });
     return *this;
 }
 
 void
 RnsPoly::negate()
 {
-    for (std::size_t t = 0; t < towers(); ++t) {
+    parallelFor(0, towers(), [&](std::size_t t) {
         const u64 q = modulus(t);
-        for (u64 &v : rns_[t])
-            v = v == 0 ? 0 : q - v;
-    }
+        u64 *a = data_.data() + t * n_;
+        for (std::size_t i = 0; i < n_; ++i)
+            a[i] = a[i] == 0 ? 0 : q - a[i];
+    });
 }
 
 void
 RnsPoly::mulScalar(u64 s)
 {
-    for (std::size_t t = 0; t < towers(); ++t)
-        mulScalarTower(t, s);
+    parallelFor(0, towers(),
+                [&](std::size_t t) { mulScalarTower(t, s); });
 }
 
 void
@@ -104,21 +129,24 @@ RnsPoly::mulScalarTower(std::size_t t, u64 s)
 {
     const u64 q = modulus(t);
     const ShoupMul m(s % q, q);
-    for (u64 &v : rns_[t])
-        v = m.mul(v, q);
+    u64 *a = data_.data() + t * n_;
+    for (std::size_t i = 0; i < n_; ++i)
+        a[i] = m.mul(a[i], q);
 }
 
 RnsPoly
 RnsPoly::automorphism(std::size_t k) const
 {
-    RnsPoly out(*chain_, modIdx_, ntt_);
+    RnsPoly out(Uninit{}, *chain_, modIdx_, ntt_);
     const AutomorphismMap &map = chain_->automorphism(k);
-    for (std::size_t t = 0; t < towers(); ++t) {
+    parallelFor(0, towers(), [&](std::size_t t) {
+        const u64 *src = data_.data() + t * n_;
+        u64 *dst = out.data_.data() + t * n_;
         if (ntt_)
-            map.applyNtt(rns_[t].data(), out.rns_[t].data());
+            map.applyNtt(src, dst);
         else
-            map.applyCoeff(rns_[t].data(), out.rns_[t].data(), modulus(t));
-    }
+            map.applyCoeff(src, dst, modulus(t));
+    });
     return out;
 }
 
@@ -131,14 +159,14 @@ RnsPoly::rescaleLastTower()
 
     const std::size_t last = towers() - 1;
     const u64 ql = modulus(last);
-    const std::vector<u64> &xl = rns_[last];
+    const u64 *xl = data_.data() + last * n_;
     const u64 half = ql / 2;
 
-    for (std::size_t t = 0; t < last; ++t) {
+    parallelFor(0, last, [&](std::size_t t) {
         const u64 qt = modulus(t);
         const ShoupMul ql_inv(invMod(ql % qt, qt), qt);
-        u64 *a = rns_[t].data();
-        for (std::size_t i = 0; i < n(); ++i) {
+        u64 *a = data_.data() + t * n_;
+        for (std::size_t i = 0; i < n_; ++i) {
             // Rounded division: subtract the centered last residue,
             // then divide by q_last. Adding half before centering
             // implements round-to-nearest.
@@ -146,8 +174,8 @@ RnsPoly::rescaleLastTower()
             const u64 xl_mod_qt = subMod(xl_shift % qt, half % qt, qt);
             a[i] = ql_inv.mul(subMod(a[i], xl_mod_qt, qt), qt);
         }
-    }
-    rns_.pop_back();
+    });
+    data_.resize(last * n_);
     modIdx_.pop_back();
     if (was_ntt)
         toNtt();
@@ -156,18 +184,25 @@ RnsPoly::rescaleLastTower()
 RnsPoly
 RnsPoly::subset(const std::vector<unsigned> &chain_idx) const
 {
-    RnsPoly out(*chain_, chain_idx, ntt_);
+    // One-pass position map over our towers (chain indices are dense
+    // and small), instead of a linear rescan per requested tower.
+    constexpr std::size_t kNone = ~std::size_t{0};
+    std::size_t max_idx = 0;
+    for (unsigned i : modIdx_)
+        max_idx = std::max<std::size_t>(max_idx, i);
+    std::vector<std::size_t> pos(max_idx + 1, kNone);
+    for (std::size_t s = 0; s < modIdx_.size(); ++s) {
+        CL_ASSERT(pos[modIdx_[s]] == kNone, "duplicate chain index ",
+                  modIdx_[s], " in polynomial basis");
+        pos[modIdx_[s]] = s;
+    }
+
+    RnsPoly out(Uninit{}, *chain_, chain_idx, ntt_);
     for (std::size_t t = 0; t < chain_idx.size(); ++t) {
-        bool found = false;
-        for (std::size_t s = 0; s < modIdx_.size(); ++s) {
-            if (modIdx_[s] == chain_idx[t]) {
-                out.rns_[t] = rns_[s];
-                found = true;
-                break;
-            }
-        }
-        CL_ASSERT(found, "subset: chain index ", chain_idx[t],
-                  " not present");
+        const unsigned ci = chain_idx[t];
+        CL_ASSERT(ci <= max_idx && pos[ci] != kNone,
+                  "subset: chain index ", ci, " not present");
+        out.setResidue(t, residue(pos[ci]));
     }
     return out;
 }
@@ -176,8 +211,8 @@ void
 RnsPoly::dropTowers(std::size_t count)
 {
     CL_ASSERT(count < towers(), "cannot drop all towers");
-    rns_.resize(towers() - count);
     modIdx_.resize(modIdx_.size() - count);
+    data_.resize(modIdx_.size() * n_);
 }
 
 } // namespace cl

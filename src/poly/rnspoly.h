@@ -6,11 +6,21 @@
  *
  * This is the data type every CraterLake vector instruction operates
  * on: one residue polynomial is one hardware vector (Sec 4.1).
+ *
+ * Storage is a single flat `towers x N` allocation in tower-major
+ * order (one cache-friendly slab per polynomial instead of one heap
+ * block per tower); `residue(t)` hands out stride views. Tower-level
+ * operations fan out across the global ThreadPool — residues are
+ * independent across moduli, the same parallelism CraterLake exploits
+ * spatially — and are bit-identical at any worker count.
  */
 
 #ifndef CL_POLY_RNSPOLY_H
 #define CL_POLY_RNSPOLY_H
 
+#include <algorithm>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "rns/baseconv.h"
@@ -18,29 +28,93 @@
 
 namespace cl {
 
+/**
+ * std::allocator that default-initializes (i.e. leaves uninitialized)
+ * on resize, so freshly allocated polynomials that are immediately
+ * overwritten (automorphism targets, base-conversion outputs, residue
+ * copies) skip the zero-fill pass over towers*N words.
+ */
+template <typename T>
+struct UninitAllocator : std::allocator<T>
+{
+    template <typename U> struct rebind
+    {
+        using other = UninitAllocator<U>;
+    };
+
+    template <typename U>
+    void
+    construct(U *p) noexcept(
+        std::is_nothrow_default_constructible_v<U>)
+    {
+        ::new (static_cast<void *>(p)) U;
+    }
+
+    template <typename U, typename... Args>
+    void
+    construct(U *p, Args &&...args)
+    {
+        ::new (static_cast<void *>(p)) U(std::forward<Args>(args)...);
+    }
+};
+
+/** Flat coefficient buffer: towers * N words, tower-major. */
+using PolyData = std::vector<u64, UninitAllocator<u64>>;
+
 class RnsPoly
 {
   public:
-    RnsPoly() : chain_(nullptr), ntt_(false) {}
+    /** Tag selecting the uninitialized-storage constructor. */
+    struct Uninit
+    {
+    };
+
+    RnsPoly() : chain_(nullptr), n_(0), ntt_(false) {}
 
     /** Zero polynomial over chain moduli with indices @p mod_idx. */
     RnsPoly(const RnsChain &chain, std::vector<unsigned> mod_idx,
             bool ntt_form = false);
 
+    /** Like above but with *uninitialized* coefficients — for callers
+     *  that overwrite every residue before reading. */
+    RnsPoly(Uninit, const RnsChain &chain, std::vector<unsigned> mod_idx,
+            bool ntt_form);
+
     bool valid() const { return chain_ != nullptr; }
     const RnsChain &chain() const { return *chain_; }
-    std::size_t n() const { return chain_->n(); }
+    std::size_t n() const { return n_; }
     std::size_t towers() const { return modIdx_.size(); }
     bool isNtt() const { return ntt_; }
 
     const std::vector<unsigned> &modIdx() const { return modIdx_; }
     u64 modulus(std::size_t t) const { return chain_->modulus(modIdx_[t]); }
 
-    std::vector<u64> &residue(std::size_t t) { return rns_[t]; }
-    const std::vector<u64> &residue(std::size_t t) const { return rns_[t]; }
+    /** View of tower @p t (N coefficients). */
+    std::span<u64>
+    residue(std::size_t t)
+    {
+        return {data_.data() + t * n_, n_};
+    }
+    std::span<const u64>
+    residue(std::size_t t) const
+    {
+        return {data_.data() + t * n_, n_};
+    }
 
-    std::vector<std::vector<u64>> &data() { return rns_; }
-    const std::vector<std::vector<u64>> &data() const { return rns_; }
+    /** Overwrite tower @p t with @p src (N coefficients). */
+    void
+    setResidue(std::size_t t, std::span<const u64> src)
+    {
+        CL_ASSERT(src.size() == n_, "residue length mismatch");
+        std::copy(src.begin(), src.end(), data_.data() + t * n_);
+    }
+
+    /** The flat tower-major coefficient slab (towers * N words). */
+    PolyData &data() { return data_; }
+    const PolyData &data() const { return data_; }
+
+    /** Per-tower read views, in tower order (for base conversion). */
+    std::vector<std::span<const u64>> residueViews() const;
 
     /** Bytes this polynomial would occupy at the hardware word width. */
     std::size_t footprintWords() const { return towers() * n(); }
@@ -79,7 +153,7 @@ class RnsPoly
 
     /**
      * Extract the towers whose chain indices appear in @p chain_idx
-     * (all must be present). Preserves the domain.
+     * (all must be present, without duplicates). Preserves the domain.
      */
     RnsPoly subset(const std::vector<unsigned> &chain_idx) const;
 
@@ -105,7 +179,8 @@ class RnsPoly
 
     const RnsChain *chain_;
     std::vector<unsigned> modIdx_;
-    std::vector<std::vector<u64>> rns_;
+    PolyData data_; // flat towers x N, tower-major
+    std::size_t n_;
     bool ntt_;
 };
 

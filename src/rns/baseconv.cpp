@@ -1,5 +1,7 @@
 #include "baseconv.h"
 
+#include "util/threadpool.h"
+
 namespace cl {
 
 BaseConverter::BaseConverter(const RnsChain &chain,
@@ -43,7 +45,7 @@ BaseConverter::BaseConverter(const RnsChain &chain,
 }
 
 void
-BaseConverter::convert(const std::vector<std::vector<u64>> &in,
+BaseConverter::convert(const std::vector<ResidueView> &in,
                        std::vector<std::vector<u64>> &out) const
 {
     std::vector<std::vector<u64>> scaled;
@@ -51,7 +53,15 @@ BaseConverter::convert(const std::vector<std::vector<u64>> &in,
 }
 
 void
-BaseConverter::convertKeepScaled(const std::vector<std::vector<u64>> &in,
+BaseConverter::convert(const std::vector<std::vector<u64>> &in,
+                       std::vector<std::vector<u64>> &out) const
+{
+    std::vector<ResidueView> views(in.begin(), in.end());
+    convert(views, out);
+}
+
+void
+BaseConverter::convertKeepScaled(const std::vector<ResidueView> &in,
                                  std::vector<std::vector<u64>> &scaled,
                                  std::vector<std::vector<u64>> &out) const
 {
@@ -61,23 +71,25 @@ BaseConverter::convertKeepScaled(const std::vector<std::vector<u64>> &in,
     CL_ASSERT(in.size() == ls, "base conversion: got ", in.size(),
               " source residues, expected ", ls);
 
-    // Step 1: x'_i = x_i * (Q/q_i)^{-1} mod q_i.
+    // Step 1: x'_i = x_i * (Q/q_i)^{-1} mod q_i, one worker per
+    // source tower.
     scaled.assign(ls, std::vector<u64>(n));
-    for (std::size_t i = 0; i < ls; ++i) {
+    parallelFor(0, ls, [&](std::size_t i) {
         const u64 qi = chain_.modulus(src_[i]);
         const ShoupMul &s = qHatInv_[i];
         const u64 *x = in[i].data();
         u64 *y = scaled[i].data();
         for (std::size_t c = 0; c < n; ++c)
             y[c] = s.mul(x[c], qi);
-    }
+    });
 
     // Step 2: the Listing-1 MAC loop; this is what the CRB unit
-    // spatially unrolls. Accumulate in 128 bits and reduce once per
-    // destination coefficient (the hardware keeps running sums in the
-    // CRB residue-poly buffers).
+    // spatially unrolls, and each destination tower is independent so
+    // the loop fans out per tower. Accumulate in 128 bits and reduce
+    // once per destination coefficient (the hardware keeps running
+    // sums in the CRB residue-poly buffers).
     out.assign(ld, std::vector<u64>(n));
-    for (std::size_t j = 0; j < ld; ++j) {
+    parallelFor(0, ld, [&](std::size_t j) {
         const u64 pj = chain_.modulus(dst_[j]);
         // The 128-bit accumulator holds at most reduce_every products
         // of two values < pj before a reduction is forced, so it can
@@ -101,7 +113,7 @@ BaseConverter::convertKeepScaled(const std::vector<std::vector<u64>> &in,
         u64 *y = out[j].data();
         for (std::size_t k = 0; k < n; ++k)
             y[k] = static_cast<u64>(acc[k] % pj);
-    }
+    });
 }
 
 } // namespace cl

@@ -14,12 +14,17 @@
  * Q (at most L·Q), which boosted keyswitching absorbs into the noise
  * budget. The inner loop is exactly the multiply-accumulate structure
  * of Listing 1's changeRNSBase.
+ *
+ * Both the per-source scaling pass and the per-destination MAC loops
+ * are independent across towers and fan out over the ThreadPool, the
+ * software counterpart of the CRB unit's spatial unrolling.
  */
 
 #ifndef CL_RNS_BASECONV_H
 #define CL_RNS_BASECONV_H
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "rns/chain.h"
@@ -30,6 +35,9 @@ namespace cl {
 class BaseConverter
 {
   public:
+    /** Read-only view of one residue polynomial (N coefficients). */
+    using ResidueView = std::span<const u64>;
+
     /**
      * @param chain Shared modulus chain.
      * @param src Indices of the source basis within the chain.
@@ -42,9 +50,13 @@ class BaseConverter
     const std::vector<unsigned> &dst() const { return dst_; }
 
     /**
-     * Convert @p in (|src| residue vectors of length N, coefficient
+     * Convert @p in (|src| residue views of length N, coefficient
      * domain) into @p out (|dst| residue vectors of length N).
      */
+    void convert(const std::vector<ResidueView> &in,
+                 std::vector<std::vector<u64>> &out) const;
+
+    /** Convenience overload for owned residue vectors. */
     void convert(const std::vector<std::vector<u64>> &in,
                  std::vector<std::vector<u64>> &out) const;
 
@@ -53,7 +65,7 @@ class BaseConverter
      * x_i * qHatInv_i mod q_i (needed when the output keeps the
      * source basis alongside the extension, as keyswitch mod-up does).
      */
-    void convertKeepScaled(const std::vector<std::vector<u64>> &in,
+    void convertKeepScaled(const std::vector<ResidueView> &in,
                            std::vector<std::vector<u64>> &scaled,
                            std::vector<std::vector<u64>> &out) const;
 

@@ -18,6 +18,7 @@ RnsChain::RnsChain(std::size_t n, std::vector<u64> moduli)
 const AutomorphismMap &
 RnsChain::automorphism(std::size_t k) const
 {
+    std::lock_guard<std::mutex> lk(autosMutex_);
     auto it = autos_.find(k);
     if (it == autos_.end()) {
         it = autos_

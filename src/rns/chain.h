@@ -15,6 +15,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "rns/automorphism.h"
@@ -39,13 +40,15 @@ class RnsChain
 
     const NttTables &ntt(std::size_t i) const { return *ntt_[i]; }
 
-    /** Cached automorphism map for exponent k (lazily built). */
+    /** Cached automorphism map for exponent k (lazily built;
+     *  thread-safe so evaluators may run on concurrent sessions). */
     const AutomorphismMap &automorphism(std::size_t k) const;
 
   private:
     std::size_t n_;
     std::vector<u64> moduli_;
     std::vector<std::unique_ptr<NttTables>> ntt_;
+    mutable std::mutex autosMutex_;
     mutable std::map<std::size_t, std::unique_ptr<AutomorphismMap>> autos_;
 };
 

@@ -112,6 +112,19 @@ struct ShoupMul
         u64 r = x * w - hi * q; // mod 2^64; result in [0, 2q)
         return r >= q ? r - q : r;
     }
+
+    /**
+     * Harvey lazy product: x * w congruent mod q, result in [0, 2q)
+     * with the final conditional subtract elided. Valid for ANY
+     * x < 2^64 (not just x < q), which is what lets the NTT keep
+     * butterfly operands in [0, 4q) between stages. Requires q < 2^62.
+     */
+    u64
+    mulLazy(u64 x, u64 q) const
+    {
+        u64 hi = static_cast<u64>(((u128)x * wPrec) >> 64);
+        return x * w - hi * q; // mod 2^64; result in [0, 2q)
+    }
 };
 
 } // namespace cl

@@ -9,6 +9,9 @@ NttTables::NttTables(std::size_t n, u64 q) : n_(n), q_(q)
     CL_ASSERT(isPowerOfTwo(n), "N must be power of two, got ", n);
     CL_ASSERT((q - 1) % (2 * n) == 0, "q=", q, " not NTT-friendly for N=",
               n);
+    // Lazy (Harvey) butterflies hold operands in [0, 4q), so 4q must
+    // fit a 64-bit word with headroom for one addition.
+    CL_ASSERT(q < (u64{1} << 62), "modulus ", q, " too wide for lazy NTT");
     logN_ = log2Exact(n);
     psi_ = findPrimitiveRoot(q, 2 * n);
     const u64 psi_inv = invMod(psi_, q);
@@ -26,9 +29,15 @@ NttTables::NttTables(std::size_t n, u64 q) : n_(n), q_(q)
 void
 NttTables::forward(u64 *a) const
 {
-    // Merged negacyclic Cooley-Tukey: twiddle index walks the
-    // bit-reversed psi powers, so no separate psi^i pre-scaling pass.
+    // Merged negacyclic Cooley-Tukey with Harvey lazy reduction:
+    // operands ride in [0, 4q) between stages, each butterfly does one
+    // conditional 2q-subtract plus one lazy Shoup multiply (no final
+    // subtract), and a single correction pass at the end restores
+    // [0, q). Same dataflow the hardware NTT FUs pipeline; the lazy
+    // window is the software analogue of their redundant-digit
+    // arithmetic.
     const u64 q = q_;
+    const u64 two_q = 2 * q;
     std::size_t t = n_;
     for (std::size_t m = 1; m < n_; m <<= 1) {
         t >>= 1;
@@ -36,19 +45,29 @@ NttTables::forward(u64 *a) const
             const std::size_t j1 = 2 * i * t;
             const ShoupMul &w = fwdTwiddles_[m + i];
             for (std::size_t j = j1; j < j1 + t; ++j) {
-                const u64 u = a[j];
-                const u64 v = w.mul(a[j + t], q);
-                a[j] = addMod(u, v, q);
-                a[j + t] = subMod(u, v, q);
+                u64 x = a[j]; // [0, 4q)
+                x -= two_q * (x >= two_q); // -> [0, 2q), branchless
+                const u64 v = w.mulLazy(a[j + t], q); // [0, 2q)
+                a[j] = x + v;                         // [0, 4q)
+                a[j + t] = x + two_q - v;             // (0, 4q)
             }
         }
+    }
+    for (std::size_t i = 0; i < n_; ++i) {
+        u64 x = a[i];
+        x -= two_q * (x >= two_q);
+        x -= q * (x >= q);
+        a[i] = x;
     }
 }
 
 void
 NttTables::inverse(u64 *a) const
 {
+    // Gentleman-Sande with operands lazily held in [0, 2q); the final
+    // N^-1 scaling pass performs the full reduction to [0, q).
     const u64 q = q_;
+    const u64 two_q = 2 * q;
     std::size_t t = 1;
     for (std::size_t m = n_; m > 1; m >>= 1) {
         const std::size_t h = m >> 1;
@@ -56,17 +75,21 @@ NttTables::inverse(u64 *a) const
         for (std::size_t i = 0; i < h; ++i) {
             const ShoupMul &w = invTwiddles_[h + i];
             for (std::size_t j = j1; j < j1 + t; ++j) {
-                const u64 u = a[j];
-                const u64 v = a[j + t];
-                a[j] = addMod(u, v, q);
-                a[j + t] = w.mul(subMod(u, v, q), q);
+                const u64 x = a[j];     // [0, 2q)
+                const u64 y = a[j + t]; // [0, 2q)
+                u64 s = x + y;          // [0, 4q)
+                s -= two_q * (s >= two_q);
+                a[j] = s; // [0, 2q)
+                a[j + t] = w.mulLazy(x + two_q - y, q); // [0, 2q)
             }
             j1 += 2 * t;
         }
         t <<= 1;
     }
-    for (std::size_t i = 0; i < n_; ++i)
-        a[i] = nInv_.mul(a[i], q);
+    for (std::size_t i = 0; i < n_; ++i) {
+        const u64 r = nInv_.mulLazy(a[i], q);
+        a[i] = r >= q ? r - q : r;
+    }
 }
 
 } // namespace cl

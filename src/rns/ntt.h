@@ -6,8 +6,11 @@
  * polynomial multiplication becomes element-wise multiplication
  * (Sec 2.4). We implement the standard merged-twiddle negacyclic
  * forward (Cooley-Tukey, decimation in time) and inverse
- * (Gentleman-Sande) transforms with Shoup twiddle multiplication,
- * matching the dataflow CraterLake's NTT FUs pipeline in hardware.
+ * (Gentleman-Sande) transforms with Shoup twiddle multiplication and
+ * Harvey lazy reduction (operands kept in [0, 4q) / [0, 2q) between
+ * stages, one correction pass at the end), matching the dataflow
+ * CraterLake's NTT FUs pipeline in hardware. Inputs must be fully
+ * reduced ([0, q)); outputs are fully reduced.
  */
 
 #ifndef CL_RNS_NTT_H

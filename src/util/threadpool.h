@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fixed-size thread pool with a parallelFor primitive — the software
+ * execution layer mirroring CraterLake's spatial parallelism: RNS
+ * residue polynomials are independent across moduli (one per hardware
+ * vector, Sec 4.1), so tower loops fan out across workers exactly as
+ * towers fan out across lanes/FUs in the accelerator.
+ *
+ * Design constraints (and why):
+ *  - No work stealing, no futures: every use site is a dense index
+ *    range [begin, end) of equal-cost tower kernels; a shared atomic
+ *    cursor is optimal and keeps the pool ~200 lines.
+ *  - Determinism: parallelFor only partitions *which thread* runs an
+ *    index, never what the index computes or where it writes, so
+ *    parallel and serial execution are bit-identical by construction.
+ *  - Nested calls run serially on the calling worker (tower kernels
+ *    may themselves hit parallelized RnsPoly ops), so the pool can
+ *    never deadlock on itself.
+ *  - `CL_THREADS` environment override; `nthreads <= 1` never spawns
+ *    a thread and costs one branch per call.
+ */
+
+#ifndef CL_UTIL_THREADPOOL_H
+#define CL_UTIL_THREADPOOL_H
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace cl {
+
+class ThreadPool
+{
+  public:
+    /** @param nthreads Total workers including the calling thread;
+     *  0 means "use the hardware concurrency". */
+    explicit ThreadPool(unsigned nthreads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total workers (calling thread included). */
+    unsigned threads() const { return nthreads_; }
+
+    /**
+     * Invoke fn(i) exactly once for every i in [begin, end), blocking
+     * until all indices complete. Falls back to a plain serial loop
+     * when the pool is size 1, the range has a single index, or the
+     * caller is itself a pool worker (nested use).
+     */
+    void parallelFor(std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t)> &fn);
+
+    /**
+     * Process-wide pool, created on first use. Size: the CL_THREADS
+     * environment variable if set, else the hardware concurrency.
+     */
+    static ThreadPool &global();
+
+    /** Replace the global pool (tests/benchmarks sweeping worker
+     *  counts). Must not race with in-flight parallelFor calls. */
+    static void setGlobalThreads(unsigned nthreads);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_; // null when nthreads_ <= 1
+    unsigned nthreads_;
+};
+
+/** Shorthand for ThreadPool::global().parallelFor(...). */
+void parallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace cl
+
+#endif // CL_UTIL_THREADPOOL_H

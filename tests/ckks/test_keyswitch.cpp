@@ -158,8 +158,8 @@ TEST_P(KeySwitchTest, SeededHalvesRegenerateExactly)
                 rlk.seed,
                 ((rlk.domain << 8) + j) * 0x10000 + a.modIdx()[t], q);
             sampler2.fill(regen.data(), ctx_->n());
-            EXPECT_EQ(regen, a.residue(t)) << "digit " << j << " tower "
-                                           << t;
+            EXPECT_TRUE(std::ranges::equal(regen, a.residue(t)))
+                << "digit " << j << " tower " << t;
             break; // one tower per digit suffices
         }
     }

@@ -1,0 +1,117 @@
+/**
+ * Determinism of the parallel execution layer: every tower-parallel
+ * kernel must produce byte-identical ciphertexts at any worker count.
+ * parallelFor only partitions which thread runs a tower, never what
+ * the tower computes, so CL_THREADS=1 and CL_THREADS=8 must agree
+ * exactly — this is the guarantee that lets servers scale worker
+ * counts without changing results.
+ */
+
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "util/threadpool.h"
+
+namespace cl {
+namespace {
+
+class ParallelDeterminismTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ctx_ = std::make_unique<CkksContext>(CkksParams::testSmall());
+        enc_ = std::make_unique<CkksEncoder>(*ctx_);
+        keygen_ = std::make_unique<KeyGenerator>(*ctx_);
+        pk_ = keygen_->genPublicKey();
+        encryptor_ = std::make_unique<Encryptor>(*ctx_, pk_);
+        eval_ = std::make_unique<Evaluator>(*ctx_);
+        relin_ = keygen_->genRelinKey();
+        galois_ = keygen_->genRotationKeys({1}, /*conjugate=*/false);
+    }
+
+    void
+    TearDown() override
+    {
+        ThreadPool::setGlobalThreads(1); // leave no workers behind
+    }
+
+    /**
+     * The chain under test: multiply + relinearize, rescale, rotate,
+     * then modRaise (the bootstrap primitive) back to the top. This
+     * exercises every parallelized kernel: NTTs, element-wise ops,
+     * automorphism, rescale, base conversion, and keyswitching.
+     */
+    Ciphertext
+    runChain(const Ciphertext &a, const Ciphertext &b)
+    {
+        Ciphertext prod = eval_->multiply(a, b, relin_);
+        eval_->rescale(prod);
+        Ciphertext rot = eval_->rotate(prod, 1, galois_);
+        return eval_->modRaise(rot, ctx_->l());
+    }
+
+    std::unique_ptr<CkksContext> ctx_;
+    std::unique_ptr<CkksEncoder> enc_;
+    std::unique_ptr<KeyGenerator> keygen_;
+    PublicKey pk_;
+    std::unique_ptr<Encryptor> encryptor_;
+    std::unique_ptr<Evaluator> eval_;
+    SwitchKey relin_;
+    GaloisKeys galois_;
+};
+
+TEST_F(ParallelDeterminismTest, ChainIsBitIdenticalAcrossWorkerCounts)
+{
+    FastRng rng(17);
+    std::vector<Complex> va(ctx_->slots()), vb(ctx_->slots());
+    for (std::size_t i = 0; i < ctx_->slots(); ++i) {
+        va[i] = Complex(rng.nextDouble() * 2 - 1, 0);
+        vb[i] = Complex(rng.nextDouble() * 2 - 1, 0);
+    }
+    const double s = ctx_->params().scale();
+    const Ciphertext ca =
+        encryptor_->encryptValues(*enc_, va, s, ctx_->l());
+    const Ciphertext cb =
+        encryptor_->encryptValues(*enc_, vb, s, ctx_->l());
+
+    ThreadPool::setGlobalThreads(1);
+    const Ciphertext serial = runChain(ca, cb);
+
+    ThreadPool::setGlobalThreads(8);
+    const Ciphertext parallel = runChain(ca, cb);
+
+    ASSERT_EQ(serial.c0.towers(), parallel.c0.towers());
+    EXPECT_TRUE(serial.c0.data() == parallel.c0.data())
+        << "c0 diverged between 1 and 8 workers";
+    EXPECT_TRUE(serial.c1.data() == parallel.c1.data())
+        << "c1 diverged between 1 and 8 workers";
+    EXPECT_EQ(serial.scale, parallel.scale);
+}
+
+TEST_F(ParallelDeterminismTest, RepeatedParallelRunsAgree)
+{
+    // Same worker count twice: guards against any hidden scheduling
+    // dependence inside a single configuration.
+    FastRng rng(23);
+    std::vector<Complex> v(ctx_->slots());
+    for (auto &z : v)
+        z = Complex(rng.nextDouble() * 2 - 1, 0);
+    const double s = ctx_->params().scale();
+    const Ciphertext ct =
+        encryptor_->encryptValues(*enc_, v, s, ctx_->l());
+
+    ThreadPool::setGlobalThreads(8);
+    const Ciphertext r1 = runChain(ct, ct);
+    const Ciphertext r2 = runChain(ct, ct);
+    EXPECT_TRUE(r1.c0.data() == r2.c0.data());
+    EXPECT_TRUE(r1.c1.data() == r2.c1.data());
+}
+
+} // namespace
+} // namespace cl

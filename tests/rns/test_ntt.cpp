@@ -122,6 +122,40 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(3u, 8u, 9u, 12u),
                        ::testing::Values(28u, 40u, 59u)));
 
+TEST(Ntt, LazyReductionRoundTripAllSizes)
+{
+    // The Harvey lazy-reduction kernels must (a) round-trip exactly
+    // and (b) emit fully reduced values, for the 28-bit hardware
+    // primes and for wide CKKS-precision primes, at every ring size
+    // the library supports (2^10 .. 2^16).
+    for (const unsigned bits : {28u, 59u}) {
+        for (unsigned logn = 10; logn <= 16; ++logn) {
+            const std::size_t n = std::size_t{1} << logn;
+            const u64 q = generateNttPrimes(bits, n, 1)[0];
+            NttTables t(n, q);
+            FastRng rng(1000 * bits + logn);
+            std::vector<u64> a(n);
+            for (auto &c : a)
+                c = rng.nextBelow(q);
+            const auto orig = a;
+
+            t.forward(a.data());
+            for (std::size_t i = 0; i < n; ++i) {
+                ASSERT_LT(a[i], q) << "unreduced forward output at "
+                                   << i << " (bits=" << bits
+                                   << ", logN=" << logn << ")";
+            }
+            t.inverse(a.data());
+            for (std::size_t i = 0; i < n; ++i) {
+                ASSERT_LT(a[i], q) << "unreduced inverse output at "
+                                   << i;
+            }
+            ASSERT_EQ(a, orig) << "round trip failed (bits=" << bits
+                               << ", logN=" << logn << ")";
+        }
+    }
+}
+
 TEST(Ntt, MonomialShiftProperty)
 {
     // Multiplying by x rotates coefficients negacyclically; verified

@@ -1,0 +1,99 @@
+/** Tests for the parallel execution layer: coverage, nesting,
+ *  serial fallback, and global-pool reconfiguration. */
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/threadpool.h"
+
+namespace cl {
+namespace {
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce)
+{
+    ThreadPool pool(4);
+    const std::size_t n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(0, n, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, NonZeroBeginAndEmptyRange)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(16);
+    pool.parallelFor(4, 12, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(hits[i].load(), (i >= 4 && i < 12) ? 1 : 0);
+
+    bool ran = false;
+    pool.parallelFor(5, 5, [&](std::size_t) { ran = true; });
+    pool.parallelFor(7, 3, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SerialPoolNeverSpawns)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threads(), 1u);
+    std::size_t sum = 0; // no atomics needed: everything is inline
+    pool.parallelFor(0, 100, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPool, NestedCallsRunSeriallyWithoutDeadlock)
+{
+    ThreadPool pool(4);
+    const std::size_t outer = 16, inner = 64;
+    std::vector<std::atomic<int>> hits(outer * inner);
+    pool.parallelFor(0, outer, [&](std::size_t i) {
+        // A tower kernel that itself calls parallelFor must degrade
+        // to a serial loop on the same worker, not deadlock.
+        pool.parallelFor(0, inner, [&](std::size_t j) {
+            hits[i * inner + j].fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<std::size_t> sum{0};
+        pool.parallelFor(0, 97, [&](std::size_t i) {
+            sum.fetch_add(i, std::memory_order_relaxed);
+        });
+        ASSERT_EQ(sum.load(), 97u * 96u / 2);
+    }
+}
+
+TEST(ThreadPool, GlobalPoolResize)
+{
+    ThreadPool::setGlobalThreads(2);
+    EXPECT_EQ(ThreadPool::global().threads(), 2u);
+    std::atomic<int> count{0};
+    parallelFor(0, 32, [&](std::size_t) {
+        count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 32);
+
+    ThreadPool::setGlobalThreads(1);
+    EXPECT_EQ(ThreadPool::global().threads(), 1u);
+    count = 0;
+    parallelFor(0, 32, [&](std::size_t) {
+        count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 32);
+}
+
+} // namespace
+} // namespace cl
