@@ -1,5 +1,6 @@
 #include "lower.h"
 
+#include <algorithm>
 #include <map>
 
 namespace cl {
@@ -71,18 +72,23 @@ Lowering::lower(const HomProgram &hp)
 
     auto get_ksh = [&](const std::string &key_id, unsigned l,
                        unsigned t) -> std::uint32_t {
-        // One hint per key identity, generated at the top of the
-        // chain; lower levels read a slice of it. This is what lets
-        // the compiler's ordering reuse hints on chip (Sec 6).
-        auto it = kshCache.find(key_id);
-        if (it != kshCache.end())
-            return it->second;
+        // One hint per key identity *and digit count*, generated at
+        // the top of the chain; lower levels read a slice of it. This
+        // is what lets the compiler's ordering reuse hints on chip
+        // (Sec 6). Keyswitches under the same key but a different
+        // digit count need differently shaped hints — caching on the
+        // key alone would silently reuse the first call's size.
         const unsigned lk = kshMaxLevel.at(key_id);
         const unsigned tk = std::min(t, lk);
         const unsigned a = static_cast<unsigned>(ceilDiv(lk, tk));
         const unsigned ext = lk + a;
         const unsigned dnum =
             static_cast<unsigned>(digitSizes(lk, tk).size());
+        const std::string cache_key =
+            key_id + "#d" + std::to_string(dnum);
+        auto it = kshCache.find(cache_key);
+        if (it != kshCache.end())
+            return it->second;
         // Full hint: dnum pairs over ext moduli. With KSHGen, only
         // the b-halves are stored/loaded (Sec 5.2).
         std::uint64_t words =
@@ -90,9 +96,9 @@ Lowering::lower(const HomProgram &hp)
         if (cfg_.hasKshGen)
             words /= 2;
         const std::uint32_t vid =
-            prog.addValue(ValueKind::KeySwitchHint, words, key_id);
+            prog.addValue(ValueKind::KeySwitchHint, words, cache_key);
         prog.values[vid].seededHalf = cfg_.hasKshGen;
-        kshCache.emplace(key_id, vid);
+        kshCache.emplace(cache_key, vid);
         return vid;
     };
 
@@ -229,14 +235,19 @@ Lowering::lower(const HomProgram &hp)
             mac.mnemonic = tag + ".ksw.mac";
             mac.n = n;
             const bool chained = cfg_.hasChaining;
-            const unsigned par =
+            const unsigned want =
                 chained ? 2u
                         : std::max(1u, std::min(cfg_.mulUnits,
                                                 cfg_.rfPorts / 3u));
-            mac.fus = {{FuType::Multiply, std::min(par, cfg_.mulUnits),
-                        mac_vecs * n},
-                       {FuType::Add, std::min(par, cfg_.addUnits),
-                        mac_vecs * n}};
+            // Units actually acquired are bounded by the pools; the
+            // modelled latency must divide by that, not by the wish
+            // (on mulUnits < 2 configs the two differ).
+            const unsigned mu =
+                std::max(1u, std::min(want, cfg_.mulUnits));
+            const unsigned au =
+                std::max(1u, std::min(want, cfg_.addUnits));
+            mac.fus = {{FuType::Multiply, mu, mac_vecs * n},
+                       {FuType::Add, au, mac_vecs * n}};
             if (cfg_.hasKshGen) {
                 mac.fus.push_back({FuType::KshGen, 1,
                                    static_cast<std::uint64_t>(dnum) * ext *
@@ -244,8 +255,8 @@ Lowering::lower(const HomProgram &hp)
             }
             mac.reads = {raised, ksh};
             mac.writes = {acc};
-            mac.duration = ceilDiv(mac_vecs, chained ? 2 : par) * vc;
-            mac.rfPorts = clamp_ports(chained ? 4 : 3 * par);
+            mac.duration = ceilDiv(mac_vecs, std::min(mu, au)) * vc;
+            mac.rfPorts = clamp_ports(chained ? 4 : 3 * want);
             mac.rfWords =
                 (mac_vecs + (cfg_.hasKshGen ? mac_vecs / 2 : mac_vecs)) * n;
             prog.addInst(std::move(mac));
@@ -267,11 +278,21 @@ Lowering::lower(const HomProgram &hp)
             md.n = n;
             const unsigned nmu = par(cfg_.nttUnits, ntt_md);
             if (cfg_.hasCrb && cfg_.hasChaining) {
+                // Clamp the scale/combine stages to the pools and let
+                // the slowest stage of the chain set the occupancy:
+                // the NTT round trips, 2l multiplies on one unit, or
+                // 4l adds on the units actually acquired.
+                const unsigned mda =
+                    std::max(1u, std::min(2u, cfg_.addUnits));
                 md.fus = {{FuType::Ntt, nmu, ntt_md * bflyPerVec},
                           {FuType::Crb, 1, md_macs * n},
                           {FuType::Multiply, 1, 2ull * l * n},
-                          {FuType::Add, 2, 4ull * l * n}};
-                md.duration = ceilDiv(ntt_md, nmu) * vc;
+                          {FuType::Add, mda, 4ull * l * n}};
+                md.duration =
+                    std::max<std::uint64_t>({ceilDiv(ntt_md, nmu),
+                                             2ull * l,
+                                             ceilDiv(4ull * l, mda)}) *
+                    vc;
                 md.rfPorts = clamp_ports(4);
             } else {
                 md.fus = {{FuType::Ntt, nmu, ntt_md * bflyPerVec},
@@ -282,7 +303,7 @@ Lowering::lower(const HomProgram &hp)
                            (md_macs + 4ull * l) * n}};
                 md.duration =
                     std::max(ceilDiv(ntt_md, nmu),
-                             ceilDiv(md_macs + 2 * l, sw_par)) * vc;
+                             ceilDiv(md_macs + 4 * l, sw_par)) * vc;
                 md.rfPorts = clamp_ports(3 * sw_par);
             }
             md.reads = {acc};
@@ -375,20 +396,28 @@ Lowering::lower(const HomProgram &hp)
             const unsigned mpu = par(cfg_.mulUnits, mul_vecs);
             unsigned npu = 1;
             inst.fus = {{FuType::Multiply, mpu, mul_vecs * n}};
+            unsigned apu = 1;
             if (drop > 0) {
                 // Fused rescale: INTT dropped towers, correct and NTT
                 // back into the remaining ones.
                 ntt_vecs = 2ull * drop + 2ull * lo;
                 npu = par(cfg_.nttUnits, ntt_vecs);
+                apu = par(cfg_.addUnits, 2ull * lo);
                 inst.fus.push_back({FuType::Ntt, npu,
                                     ntt_vecs * bflyPerVec});
-                inst.fus.push_back({FuType::Add, 1, 2ull * lo * n});
+                inst.fus.push_back({FuType::Add, apu, 2ull * lo * n});
                 inst.networkWords = ntt_vecs * n;
             }
             inst.reads = {valueOf[op.args[0]], get_plain(op.plainId, l)};
             inst.writes = {out};
-            inst.duration = std::max(ceilDiv(mul_vecs, mpu),
-                                     ceilDiv(ntt_vecs, npu)) * vc;
+            // Every stage's latency divides by the units it acquired;
+            // the correction adds can bound the pass on few-adder
+            // configs.
+            inst.duration =
+                std::max<std::uint64_t>(
+                    {ceilDiv(mul_vecs, mpu), ceilDiv(ntt_vecs, npu),
+                     drop > 0 ? ceilDiv(2ull * lo, apu) : 0ull}) *
+                vc;
             inst.rfPorts = clamp_ports(4);
             inst.rfWords = (3ull * l + 2ull * lo) * n;
             stats_.mulVectors += mul_vecs;
@@ -409,11 +438,19 @@ Lowering::lower(const HomProgram &hp)
             tp.n = n;
             const std::uint64_t tmuls = 4ull * l;
             const unsigned tpu = par(cfg_.mulUnits, tmuls);
+            const unsigned tau =
+                par(cfg_.addUnits, static_cast<std::uint64_t>(l));
             tp.fus = {{FuType::Multiply, tpu, tmuls * n},
-                      {FuType::Add, 1, static_cast<std::uint64_t>(l) * n}};
+                      {FuType::Add, tau,
+                       static_cast<std::uint64_t>(l) * n}};
             tp.reads = {va, vb};
             tp.writes = {tensor};
-            tp.duration = ceilDiv(tmuls, tpu) * vc;
+            // Bounded by either the 4l multiplies or the l combine
+            // adds, each divided by the units actually acquired.
+            tp.duration =
+                std::max(ceilDiv(tmuls, tpu),
+                         ceilDiv(static_cast<std::uint64_t>(l), tau)) *
+                vc;
             tp.rfPorts = clamp_ports(cfg_.hasChaining ? 5 : 6);
             tp.rfWords = (4ull * l + 3ull * l) * n;
             stats_.mulVectors += tmuls;
@@ -434,12 +471,20 @@ Lowering::lower(const HomProgram &hp)
             rs.n = n;
             const std::uint64_t ntt_rs = 2ull * drop + 2ull * lo;
             const unsigned rsu = par(cfg_.nttUnits, ntt_rs);
+            const unsigned rmu = par(cfg_.mulUnits, 2ull * lo);
+            const unsigned rau = par(cfg_.addUnits, 2ull * lo);
             rs.fus = {{FuType::Ntt, rsu, ntt_rs * bflyPerVec},
-                      {FuType::Multiply, 1, 2ull * lo * n},
-                      {FuType::Add, 1, 2ull * lo * n}};
+                      {FuType::Multiply, rmu, 2ull * lo * n},
+                      {FuType::Add, rau, 2ull * lo * n}};
             rs.reads = {ks};
             rs.writes = {out};
-            rs.duration = ceilDiv(ntt_rs, rsu) * vc;
+            // Slowest stage of the chain, each divided by the units it
+            // actually acquired.
+            rs.duration =
+                std::max<std::uint64_t>({ceilDiv(ntt_rs, rsu),
+                                         ceilDiv(2ull * lo, rmu),
+                                         ceilDiv(2ull * lo, rau)}) *
+                vc;
             rs.networkWords = ntt_rs * n;
             rs.rfPorts = clamp_ports(3);
             rs.rfWords = (2ull * l + 2ull * lo) * n;
@@ -482,12 +527,19 @@ Lowering::lower(const HomProgram &hp)
             rs.n = n;
             const std::uint64_t ntt_rs = 2ull * drop + 2ull * lo;
             const unsigned rsu = par(cfg_.nttUnits, ntt_rs);
+            const unsigned rmu = par(cfg_.mulUnits, 2ull * lo);
+            const unsigned rau = par(cfg_.addUnits, 2ull * lo);
             rs.fus = {{FuType::Ntt, rsu, ntt_rs * bflyPerVec},
-                      {FuType::Multiply, 1, 2ull * lo * n},
-                      {FuType::Add, 1, 2ull * lo * n}};
+                      {FuType::Multiply, rmu, 2ull * lo * n},
+                      {FuType::Add, rau, 2ull * lo * n}};
             rs.reads = {valueOf[op.args[0]]};
             rs.writes = {out};
-            rs.duration = ceilDiv(ntt_rs, rsu) * vc;
+            // Same acquired-unit bounds as the keyswitch rescale.
+            rs.duration =
+                std::max<std::uint64_t>({ceilDiv(ntt_rs, rsu),
+                                         ceilDiv(2ull * lo, rmu),
+                                         ceilDiv(2ull * lo, rau)}) *
+                vc;
             rs.networkWords = ntt_rs * n;
             rs.rfPorts = clamp_ports(3);
             rs.rfWords = (2ull * l + 2ull * lo) * n;

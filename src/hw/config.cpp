@@ -1,5 +1,7 @@
 #include "config.h"
 
+#include <cstdlib>
+
 namespace cl {
 
 ChipConfig
@@ -66,6 +68,34 @@ ChipConfig::f1plus()
     c.network = NetworkType::Crossbar;
     c.netWordsPerCycleOverride = 16384; // 57 TB/s (Sec 4.3)
     return c;
+}
+
+ChipConfig
+ChipConfig::byName(const std::string &name)
+{
+    if (name == "craterlake")
+        return craterLake();
+    if (name == "craterlake-128k" || name == "128k")
+        return craterLake128k();
+    if (name == "craterlake-nokshgen" || name == "no-kshgen")
+        return noKshGen();
+    if (name == "craterlake-nocrb" || name == "no-crb" ||
+        name == "no-crb-no-chain")
+        return noCrbNoChain();
+    if (name == "craterlake-crossbar" || name == "crossbar")
+        return crossbarNetwork();
+    if (name == "f1plus")
+        return f1plus();
+    if (name.rfind("rf", 0) == 0 && name.size() > 2) {
+        const unsigned mb =
+            static_cast<unsigned>(std::strtoul(name.c_str() + 2,
+                                               nullptr, 10));
+        if (mb > 0)
+            return withRfMB(mb);
+    }
+    CL_FATAL("unknown config '", name,
+             "'; valid: craterlake, craterlake-128k, no-kshgen, "
+             "no-crb, crossbar, f1plus, rf<MB>");
 }
 
 ChipConfig

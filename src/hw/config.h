@@ -142,6 +142,15 @@ struct ChipConfig
     static ChipConfig withRfMB(unsigned mb);
 
     /**
+     * Lookup of the standard configurations by name, for CLIs:
+     * "craterlake", "craterlake-128k", "no-kshgen", "no-crb",
+     * "crossbar", "f1plus", or "rf<MB>" (e.g. "rf64"); the factory
+     * names above ("craterlake-nokshgen", ...) are also accepted.
+     * Fatal on an unknown name (the message lists the valid ones).
+     */
+    static ChipConfig byName(const std::string &name);
+
+    /**
      * F1+ (Sec 8): F1 scaled to 32 clusters x 256 lanes, 256 MB
      * scratchpad, crossbar interconnect. Each vector op runs on one
      * 256-lane cluster; parallelism comes from the 32 clusters'

@@ -3,6 +3,25 @@
 namespace cl {
 
 const char *
+valueKindName(ValueKind k)
+{
+    switch (k) {
+      case ValueKind::Input:
+        return "input";
+      case ValueKind::KeySwitchHint:
+        return "ksh";
+      case ValueKind::Plaintext:
+        return "plaintext";
+      case ValueKind::Intermediate:
+        return "intermediate";
+      case ValueKind::Output:
+        return "output";
+      default:
+        CL_PANIC("bad value kind");
+    }
+}
+
+const char *
 fuTypeName(FuType t)
 {
     switch (t) {

@@ -38,6 +38,8 @@ enum class ValueKind
     Output        ///< Program result (streamed to host).
 };
 
+const char *valueKindName(ValueKind k);
+
 struct Value
 {
     std::uint32_t id = 0;

@@ -5,6 +5,8 @@
 #include <memory>
 #include <set>
 
+#include "sim/trace.h"
+
 namespace cl {
 
 namespace {
@@ -59,9 +61,20 @@ class UnitPool
 } // namespace
 
 SimStats
-Simulator::run(const Program &prog)
+Simulator::run(const Program &prog, TraceSink *trace)
 {
     SimStats stats;
+
+    // Instruction currently being issued (for trace attribution).
+    std::uint32_t cur_inst = 0;
+    auto note = [&](ResidencyAction action, std::uint32_t vid,
+                    std::uint64_t mem_start, std::uint64_t mem_end) {
+        if (!trace)
+            return;
+        const Value &v = prog.values[vid];
+        trace->onResidency({action, vid, cur_inst, v.kind, v.label,
+                            v.words, mem_start, mem_end});
+    };
 
     // --- Resource pools ---
     std::array<std::unique_ptr<UnitPool>, numFuTypes> fuPools;
@@ -151,6 +164,8 @@ Simulator::run(const Program &prog)
                 stats.intermStoreWords += v.words;
                 const std::uint64_t dur =
                     static_cast<std::uint64_t>(v.words / mem_bw) + 1;
+                note(ResidencyAction::Spill, victim, memFreeAt,
+                     memFreeAt + dur);
                 memFreeAt += dur;
                 stats.memBusyCycles += dur;
             }
@@ -174,6 +189,8 @@ Simulator::run(const Program &prog)
         account_load(v);
         const std::uint64_t dur =
             static_cast<std::uint64_t>(v.words / mem_bw) + 1;
+        note(fits ? ResidencyAction::Load : ResidencyAction::Stream, vid,
+             memFreeAt, memFreeAt + dur);
         memFreeAt += dur;
         stats.memBusyCycles += dur;
         if (fits) {
@@ -194,6 +211,7 @@ Simulator::run(const Program &prog)
     std::uint64_t last_finish = 0;
 
     for (const PolyInst &inst : prog.insts) {
+        cur_inst = inst.id;
         std::uint64_t ready = prev_issue;
 
         // Pin everything this instruction touches.
@@ -203,6 +221,7 @@ Simulator::run(const Program &prog)
         // Operand residency (prefetched on the memory timeline).
         for (std::uint32_t vid : inst.reads)
             ready = std::max(ready, ensure_resident(vid, pinned));
+        const std::uint64_t operands_at = ready;
 
         // Space for results.
         for (std::uint32_t vid : inst.writes) {
@@ -217,29 +236,50 @@ Simulator::run(const Program &prog)
                     const std::uint64_t dur = static_cast<std::uint64_t>(
                                                   prog.values[vid].words /
                                                   mem_bw) + 1;
+                    note(ResidencyAction::StreamStore, vid, memFreeAt,
+                         memFreeAt + dur);
                     memFreeAt += dur;
                     stats.memBusyCycles += dur;
                 }
             }
         }
 
-        // Resource acquisition.
+        // Resource acquisition. Track which resource bound the start
+        // time (the instruction's binding resource, for the trace).
         std::uint64_t start = ready;
+        StallReason binding = operands_at > prev_issue
+                                  ? StallReason::Operand
+                                  : StallReason::None;
+        FuType binding_fu = FuType::Ntt;
         for (const FuUse &use : inst.fus) {
             auto &pool = *fuPools[static_cast<unsigned>(use.type)];
             CL_ASSERT(cfg_.fuCount(use.type) > 0, "inst ", inst.id, " (",
                       inst.mnemonic, ") needs absent FU ",
                       fuTypeName(use.type));
-            start = std::max(start, pool.earliest(use.units, start));
+            const std::uint64_t at = pool.earliest(use.units, start);
+            if (at > start) {
+                binding = StallReason::Fu;
+                binding_fu = use.type;
+                start = at;
+            }
         }
-        start = std::max(start, ports.earliest(inst.rfPorts, start));
+        {
+            const std::uint64_t at = ports.earliest(inst.rfPorts, start);
+            if (at > start) {
+                binding = StallReason::RfPorts;
+                start = at;
+            }
+        }
 
         std::uint64_t net_cycles = 0;
         if (inst.networkWords > 0) {
             net_cycles = static_cast<std::uint64_t>(
                              inst.networkWords * net_traffic_scale /
                              net_bw) + 1;
-            start = std::max(start, networkFreeAt);
+            if (networkFreeAt > start) {
+                binding = StallReason::Network;
+                start = networkFreeAt;
+            }
         }
 
         const std::uint64_t finish = start + inst.duration;
@@ -270,28 +310,57 @@ Simulator::run(const Program &prog)
                 const std::uint64_t dur = static_cast<std::uint64_t>(
                                               prog.values[vid].words /
                                               mem_bw) + 1;
-                memFreeAt = std::max(memFreeAt, finish) + dur;
+                const std::uint64_t at = std::max(memFreeAt, finish);
+                note(ResidencyAction::StoreOut, vid, at, at + dur);
+                memFreeAt = at + dur;
                 stats.memBusyCycles += dur;
             }
         }
         for (std::uint32_t vid : inst.reads) {
             Resident &r = res[vid];
-            if (!r.resident)
-                continue; // duplicate operand already retired
-            const std::uint32_t old_use = next_use(vid);
             const auto &cons = prog.values[vid].consumers;
+            if (!r.resident) {
+                // Streamed operand (or a duplicate already freed):
+                // still consume this use, so that a later reload or
+                // in-place rewrite keys its Belady entry on a future
+                // consumer instead of one already in the past.
+                while (r.usePtr < cons.size() && cons[r.usePtr] <= inst.id)
+                    ++r.usePtr;
+                continue;
+            }
+            const std::uint32_t old_use = next_use(vid);
             while (r.usePtr < cons.size() && cons[r.usePtr] <= inst.id)
                 ++r.usePtr;
             resident_erase(vid, old_use);
             if (r.usePtr >= cons.size() &&
                 prog.values[vid].kind == ValueKind::Intermediate) {
                 // Dead: free without writeback.
+                note(ResidencyAction::DeadFree, vid, finish, finish);
                 r.resident = false;
                 r.dirty = false;
                 used -= prog.values[vid].words;
             } else {
                 resident_insert(vid);
             }
+        }
+
+        if (trace) {
+            InstTrace t;
+            t.id = inst.id;
+            t.mnemonic = inst.mnemonic;
+            t.issueReady = prev_issue;
+            t.operandsAt = operands_at;
+            t.start = start;
+            t.finish = finish;
+            t.binding = binding;
+            t.bindingFu = binding_fu;
+            t.fus = inst.fus;
+            t.rfPorts = inst.rfPorts;
+            t.networkWords = inst.networkWords;
+            if (inst.networkWords > 0)
+                t.netBusyUntil = start + std::max(net_cycles,
+                                                  inst.duration);
+            trace->onInst(t);
         }
 
         prev_issue = start;

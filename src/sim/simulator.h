@@ -24,13 +24,20 @@
 
 namespace cl {
 
+class TraceSink;
+
 class Simulator
 {
   public:
     explicit Simulator(ChipConfig cfg) : cfg_(std::move(cfg)) {}
 
-    /** Execute a program, returning its statistics. */
-    SimStats run(const Program &prog);
+    /**
+     * Execute a program, returning its statistics. When @p trace is
+     * non-null, every instruction and residency event is reported to
+     * it (sim/trace.h); a null sink adds no work and leaves results
+     * bit-identical.
+     */
+    SimStats run(const Program &prog, TraceSink *trace = nullptr);
 
   private:
     ChipConfig cfg_;

@@ -36,6 +36,9 @@ struct SimStats
     std::uint64_t rfAccessWords = 0;
     std::uint64_t networkWords = 0;
 
+    /** Bit-exact equality, used to check that tracing is inert. */
+    bool operator==(const SimStats &) const = default;
+
     std::uint64_t
     totalTrafficWords() const
     {
@@ -68,6 +71,17 @@ struct SimStats
         if (cycles == 0 || units == 0)
             return 0;
         return static_cast<double>(busy) /
+               (static_cast<double>(cycles) * units);
+    }
+
+    /** Utilization of a single FU class (per-row data of Fig 9). */
+    double
+    fuUtilizationOf(const ChipConfig &cfg, FuType t) const
+    {
+        const unsigned units = cfg.fuCount(t);
+        if (cycles == 0 || units == 0)
+            return 0;
+        return static_cast<double>(fuBusy[static_cast<unsigned>(t)]) /
                (static_cast<double>(cycles) * units);
     }
 

@@ -1,0 +1,326 @@
+#include "trace.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/table.h"
+
+namespace cl {
+
+const char *
+stallReasonName(StallReason r)
+{
+    switch (r) {
+      case StallReason::None:
+        return "none";
+      case StallReason::Operand:
+        return "operand";
+      case StallReason::Fu:
+        return "fu";
+      case StallReason::RfPorts:
+        return "rf-ports";
+      case StallReason::Network:
+        return "network";
+      default:
+        CL_PANIC("bad stall reason");
+    }
+}
+
+const char *
+residencyActionName(ResidencyAction a)
+{
+    switch (a) {
+      case ResidencyAction::Load:
+        return "load";
+      case ResidencyAction::Stream:
+        return "stream";
+      case ResidencyAction::Spill:
+        return "spill";
+      case ResidencyAction::StreamStore:
+        return "stream-store";
+      case ResidencyAction::StoreOut:
+        return "store-out";
+      case ResidencyAction::DeadFree:
+        return "dead-free";
+      default:
+        CL_PANIC("bad residency action");
+    }
+}
+
+namespace {
+
+/** Minimal JSON string escaping (quotes, backslash, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += ' ';
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+pct(double v)
+{
+    return TextTable::num(100.0 * v, 1) + "%";
+}
+
+} // namespace
+
+std::array<std::uint64_t, numFuTypes>
+TraceRecorder::fuBusyFromTrace() const
+{
+    std::array<std::uint64_t, numFuTypes> busy{};
+    for (const InstTrace &t : insts_) {
+        for (const FuUse &use : t.fus) {
+            busy[static_cast<unsigned>(use.type)] +=
+                use.units * (t.finish - t.start);
+        }
+    }
+    return busy;
+}
+
+double
+TraceRecorder::fuUtilization(const ChipConfig &cfg,
+                             std::uint64_t cycles) const
+{
+    const auto busy = fuBusyFromTrace();
+    std::uint64_t total = 0;
+    unsigned units = 0;
+    for (unsigned t = 0; t < numFuTypes; ++t) {
+        if (static_cast<FuType>(t) == FuType::Transpose)
+            continue;
+        total += busy[t];
+        units += cfg.fuCount(static_cast<FuType>(t));
+    }
+    if (cycles == 0 || units == 0)
+        return 0;
+    return static_cast<double>(total) /
+           (static_cast<double>(cycles) * units);
+}
+
+void
+TraceRecorder::writeChromeTrace(std::ostream &os,
+                                const ChipConfig &cfg) const
+{
+    // pid 0: compute, one track (tid) per FU class;
+    // pid 1: memory channel; pid 2: inter-group network.
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    bool first = true;
+    auto emit = [&](const std::string &body) {
+        os << (first ? " " : ",") << "{" << body << "}\n";
+        first = false;
+    };
+
+    emit("\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"compute (" +
+         jsonEscape(cfg.name) + ")\"}");
+    for (unsigned t = 0; t < numFuTypes; ++t) {
+        emit("\"ph\":\"M\",\"pid\":0,\"tid\":" + std::to_string(t) +
+             ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+             std::string(fuTypeName(static_cast<FuType>(t))) + "\"}");
+    }
+    emit("\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"memory channel\"}");
+    emit("\"ph\":\"M\",\"pid\":2,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"network\"}");
+
+    for (const InstTrace &t : insts_) {
+        std::string binding = stallReasonName(t.binding);
+        if (t.binding == StallReason::Fu)
+            binding += std::string(":") + fuTypeName(t.bindingFu);
+        for (const FuUse &use : t.fus) {
+            emit("\"ph\":\"X\",\"pid\":0,\"tid\":" +
+                 std::to_string(static_cast<unsigned>(use.type)) +
+                 ",\"ts\":" + std::to_string(t.start) +
+                 ",\"dur\":" + std::to_string(t.finish - t.start) +
+                 ",\"name\":\"" + jsonEscape(t.mnemonic) +
+                 "\",\"args\":{\"inst\":" + std::to_string(t.id) +
+                 ",\"units\":" + std::to_string(use.units) +
+                 ",\"stall\":" + std::to_string(t.stall()) +
+                 ",\"binding\":\"" + binding + "\"}");
+        }
+        if (t.networkWords > 0 && t.netBusyUntil > t.start) {
+            emit("\"ph\":\"X\",\"pid\":2,\"tid\":0,\"ts\":" +
+                 std::to_string(t.start) + ",\"dur\":" +
+                 std::to_string(t.netBusyUntil - t.start) +
+                 ",\"name\":\"" + jsonEscape(t.mnemonic) +
+                 "\",\"args\":{\"words\":" +
+                 std::to_string(t.networkWords) + "}");
+        }
+    }
+    for (const ResidencyEvent &e : residency_) {
+        if (e.memEnd <= e.memStart)
+            continue; // bookkeeping-only event (dead-free)
+        emit("\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":" +
+             std::to_string(e.memStart) + ",\"dur\":" +
+             std::to_string(e.memEnd - e.memStart) + ",\"name\":\"" +
+             std::string(residencyActionName(e.action)) + " " +
+             jsonEscape(e.label.empty() ? "v" + std::to_string(e.valueId)
+                                        : e.label) +
+             "\",\"args\":{\"value\":" + std::to_string(e.valueId) +
+             ",\"inst\":" + std::to_string(e.instId) + ",\"kind\":\"" +
+             valueKindName(e.kind) + "\",\"words\":" +
+             std::to_string(e.words) + "}");
+    }
+    os << "]}\n";
+}
+
+void
+TraceRecorder::writeBottleneckReport(std::ostream &os,
+                                     const ChipConfig &cfg,
+                                     const SimStats &stats,
+                                     std::size_t top_k,
+                                     std::size_t buckets) const
+{
+    os << "=== Bottleneck report (" << cfg.name << ") ===\n";
+    os << "cycles: " << stats.cycles << "  ("
+       << TextTable::num(stats.seconds(cfg) * 1e3, 3) << " ms @ "
+       << TextTable::num(cfg.freqGhz, 1) << " GHz), instructions: "
+       << insts_.size() << "\n\n";
+
+    // --- Per-FU utilization (Fig 9 rows). ---
+    const auto busy = fuBusyFromTrace();
+    TextTable fu({"FU class", "units", "busy unit-cycles", "util"});
+    for (unsigned t = 0; t < numFuTypes; ++t) {
+        const FuType ft = static_cast<FuType>(t);
+        if (cfg.fuCount(ft) == 0 || ft == FuType::Transpose)
+            continue;
+        fu.addRow({fuTypeName(ft), std::to_string(cfg.fuCount(ft)),
+                   std::to_string(busy[t]),
+                   pct(stats.fuUtilizationOf(cfg, ft))});
+    }
+    os << fu.render();
+    os << "aggregate FU util (Fig 9): "
+       << pct(fuUtilization(cfg, stats.cycles)) << ", memory channel: "
+       << pct(stats.memUtilization()) << " busy\n\n";
+
+    // --- Stall attribution by binding resource. ---
+    std::uint64_t by_reason[5] = {};
+    std::array<std::uint64_t, numFuTypes> by_fu{};
+    std::uint64_t total_stall = 0;
+    for (const InstTrace &t : insts_) {
+        by_reason[static_cast<unsigned>(t.binding)] += t.stall();
+        if (t.binding == StallReason::Fu)
+            by_fu[static_cast<unsigned>(t.bindingFu)] += t.stall();
+        total_stall += t.stall();
+    }
+    os << "Issue-stall attribution (" << total_stall
+       << " cycles lost at issue):\n";
+    TextTable st({"binding resource", "cycles", "share"});
+    auto share = [&](std::uint64_t c) {
+        return total_stall
+                   ? pct(static_cast<double>(c) / total_stall)
+                   : std::string("-");
+    };
+    for (unsigned r = 1; r < 5; ++r) { // skip None
+        const StallReason sr = static_cast<StallReason>(r);
+        if (sr == StallReason::Fu) {
+            for (unsigned t = 0; t < numFuTypes; ++t) {
+                if (by_fu[t] == 0)
+                    continue;
+                st.addRow({std::string("fu:") +
+                               fuTypeName(static_cast<FuType>(t)),
+                           std::to_string(by_fu[t]), share(by_fu[t])});
+            }
+        } else if (by_reason[r] > 0) {
+            st.addRow({stallReasonName(sr),
+                       std::to_string(by_reason[r]),
+                       share(by_reason[r])});
+        }
+    }
+    os << st.render() << "\n";
+
+    // --- Top-k instructions by stall. ---
+    std::vector<const InstTrace *> order;
+    order.reserve(insts_.size());
+    for (const InstTrace &t : insts_)
+        order.push_back(&t);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const InstTrace *a, const InstTrace *b) {
+                         return a->stall() > b->stall();
+                     });
+    if (order.size() > top_k)
+        order.resize(top_k);
+    os << "Top " << order.size() << " stalled instructions:\n";
+    TextTable tk({"inst", "mnemonic", "stall", "binding", "start",
+                  "finish"});
+    for (const InstTrace *t : order) {
+        std::string binding = stallReasonName(t->binding);
+        if (t->binding == StallReason::Fu)
+            binding += std::string(":") + fuTypeName(t->bindingFu);
+        tk.addRow({std::to_string(t->id), t->mnemonic,
+                   std::to_string(t->stall()), binding,
+                   std::to_string(t->start),
+                   std::to_string(t->finish)});
+    }
+    os << tk.render() << "\n";
+
+    // --- Utilization over time (Fig 9's shape). ---
+    if (stats.cycles == 0 || buckets == 0)
+        return;
+    unsigned fu_units = 0;
+    for (unsigned t = 0; t < numFuTypes; ++t) {
+        if (static_cast<FuType>(t) != FuType::Transpose)
+            fu_units += cfg.fuCount(static_cast<FuType>(t));
+    }
+    std::vector<double> fu_busy(buckets, 0), mem_busy(buckets, 0);
+    const double width =
+        static_cast<double>(stats.cycles) / static_cast<double>(buckets);
+    auto accumulate = [&](std::vector<double> &acc, std::uint64_t s,
+                          std::uint64_t e, double weight) {
+        if (e <= s)
+            return;
+        const std::size_t b0 =
+            std::min(buckets - 1, static_cast<std::size_t>(s / width));
+        const std::size_t b1 = std::min(
+            buckets - 1, static_cast<std::size_t>((e - 1) / width));
+        for (std::size_t b = b0; b <= b1; ++b) {
+            const double lo = std::max<double>(s, b * width);
+            const double hi = std::min<double>(e, (b + 1) * width);
+            if (hi > lo)
+                acc[b] += weight * (hi - lo);
+        }
+    };
+    for (const InstTrace &t : insts_) {
+        for (const FuUse &use : t.fus) {
+            if (use.type == FuType::Transpose)
+                continue;
+            accumulate(fu_busy, t.start, t.finish, use.units);
+        }
+    }
+    for (const ResidencyEvent &e : residency_)
+        accumulate(mem_busy, e.memStart, e.memEnd, 1.0);
+    os << "Utilization over time (" << buckets << " buckets of "
+       << static_cast<std::uint64_t>(width) << " cycles):\n";
+    TextTable tl({"bucket", "FU util", "mem util"});
+    for (std::size_t b = 0; b < buckets; ++b) {
+        tl.addRow({std::to_string(b),
+                   fu_units ? pct(fu_busy[b] / (width * fu_units))
+                            : std::string("-"),
+                   pct(std::min(1.0, mem_busy[b] / width))});
+    }
+    os << tl.render();
+}
+
+} // namespace cl

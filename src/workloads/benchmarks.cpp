@@ -368,4 +368,37 @@ benchmarkSuite(const SecurityConfig &sec)
     return suite;
 }
 
+std::vector<std::string>
+benchmarkNames()
+{
+    return {"resnet20",    "logreg",     "lstm",       "boot-packed",
+            "boot-unpacked", "lola-cifar", "lola-mnist",
+            "lola-mnist-ew"};
+}
+
+HomProgram
+benchmarkByName(const std::string &name, const SecurityConfig &sec)
+{
+    if (name == "resnet20")
+        return resnet20(sec);
+    if (name == "logreg")
+        return logisticRegression(sec);
+    if (name == "lstm")
+        return lstm(sec);
+    if (name == "boot-packed")
+        return packedBootstrapping(sec);
+    if (name == "boot-unpacked")
+        return unpackedBootstrapping();
+    if (name == "lola-cifar")
+        return lolaCifar();
+    if (name == "lola-mnist")
+        return lolaMnist(false);
+    if (name == "lola-mnist-ew")
+        return lolaMnist(true);
+    std::string valid;
+    for (const std::string &n : benchmarkNames())
+        valid += (valid.empty() ? "" : ", ") + n;
+    CL_FATAL("unknown benchmark '", name, "'; valid: ", valid);
+}
+
 } // namespace cl

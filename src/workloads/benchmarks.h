@@ -88,6 +88,15 @@ struct NamedProgram
 std::vector<NamedProgram> benchmarkSuite(
     const SecurityConfig &sec = SecurityConfig::bits80());
 
+/** CLI slugs of the eight benchmarks ("resnet20", "lstm", ...). */
+std::vector<std::string> benchmarkNames();
+
+/** Generate one benchmark by slug (see benchmarkNames()); fatal on
+ *  an unknown name, listing the valid ones. */
+HomProgram benchmarkByName(const std::string &name,
+                           const SecurityConfig &sec =
+                               SecurityConfig::bits80());
+
 } // namespace cl
 
 #endif // CL_WORKLOADS_BENCHMARKS_H

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "compiler/lower.h"
+#include "sim/simulator.h"
 
 namespace cl {
 namespace {
@@ -160,6 +161,171 @@ TEST(Lowering, StandardKeyswitchSkipsCrbMacs)
     Lowering lower(ChipConfig::craterLake());
     lower.lower(b.take());
     EXPECT_EQ(lower.stats().crbMacVectors, 2u * 1 * 8); // mod-down only
+}
+
+namespace {
+
+/**
+ * Audit every emitted instruction against the throughput invariant:
+ * an FU stage of V vectors on U acquired units cannot finish in fewer
+ * than ceil(V/U) vector-issue slots, and no stage may request more
+ * units than the configuration has. Catches any site that computes
+ * `duration` from more parallelism than its FuUse actually acquires.
+ */
+void
+checkThroughputInvariant(const ChipConfig &cfg, const Program &p)
+{
+    const std::uint64_t vc = cfg.vectorCycles(p.n);
+    const std::uint64_t bfly =
+        static_cast<std::uint64_t>(p.n) * log2Exact(p.n) / 2;
+    for (const PolyInst &inst : p.insts) {
+        for (const FuUse &use : inst.fus) {
+            EXPECT_LE(use.units, cfg.fuCount(use.type))
+                << inst.mnemonic << " oversubscribes "
+                << fuTypeName(use.type);
+            std::uint64_t vecs = 0;
+            switch (use.type) {
+              case FuType::Ntt:
+                vecs = use.laneOps / bfly;
+                break;
+              case FuType::Multiply:
+              case FuType::Add:
+              case FuType::Automorphism:
+                vecs = use.laneOps / p.n;
+                break;
+              default:
+                continue; // CRB/KSHGen/transpose: pipelined units
+            }
+            EXPECT_GE(inst.duration, ceilDiv(vecs, use.units) * vc)
+                << inst.mnemonic << " underestimates "
+                << fuTypeName(use.type) << " (" << vecs << " vecs on "
+                << use.units << " units)";
+        }
+    }
+}
+
+/** Workload covering every lowering path: adds, plaintext ops, fused
+ *  and explicit rescales, keyswitches, and a mod-raise. */
+HomProgram
+auditProgram()
+{
+    HomBuilder b("audit", 14, 16, [](unsigned l) { return l > 10 ? 2u
+                                                                 : 1u; });
+    auto a = b.input(14);
+    auto c = b.mul(a, a, 2);
+    auto d = b.addPlain(c, "w0");
+    auto e = b.mulPlain(d, "w1", 1);
+    auto f = b.rotate(e, 3);
+    auto g = b.add(f, b.levelDrop(c, f.level));
+    auto low = b.levelDrop(g, 2);
+    auto raised = b.modRaise(low, 12);
+    b.output(raised);
+    return b.take();
+}
+
+} // namespace
+
+TEST(Lowering, ThroughputInvariantAcrossConfigs)
+{
+    const HomProgram hp = auditProgram();
+    std::vector<ChipConfig> cfgs = {
+        ChipConfig::craterLake(), ChipConfig::noCrbNoChain(),
+        ChipConfig::f1plus()};
+    ChipConfig one_mul = ChipConfig::craterLake();
+    one_mul.name = "craterlake-1mul";
+    one_mul.mulUnits = 1;
+    cfgs.push_back(one_mul);
+    ChipConfig one_add = ChipConfig::craterLake();
+    one_add.name = "craterlake-1add";
+    one_add.addUnits = 1;
+    cfgs.push_back(one_add);
+    for (const ChipConfig &cfg : cfgs) {
+        SCOPED_TRACE(cfg.name);
+        Lowering lower(cfg);
+        checkThroughputInvariant(cfg, lower.lower(hp));
+    }
+}
+
+TEST(Lowering, HintMacDurationMatchesAcquiredUnits)
+{
+    // On a 1-multiplier chained config the hint MAC can only acquire
+    // one multiply unit, so its latency is the full mac_vecs sweep —
+    // not the 2-way-split wish the chained dataflow would prefer.
+    ChipConfig cfg = ChipConfig::craterLake();
+    cfg.mulUnits = 1;
+    HomBuilder b("t", 14, 12, [](unsigned) { return 1u; });
+    auto a = b.input(12);
+    b.rotate(a, 1);
+    Lowering lower(cfg);
+    const Program p = lower.lower(b.take());
+    const std::uint64_t vc = cfg.vectorCycles(p.n);
+    bool found = false;
+    for (const PolyInst &inst : p.insts) {
+        if (inst.mnemonic.find(".ksw.mac") == std::string::npos)
+            continue;
+        found = true;
+        std::uint64_t mac_vecs = 0;
+        for (const FuUse &use : inst.fus) {
+            if (use.type == FuType::Multiply) {
+                EXPECT_EQ(use.units, 1u);
+                mac_vecs = use.laneOps / p.n;
+            }
+        }
+        ASSERT_GT(mac_vecs, 0u);
+        EXPECT_EQ(inst.duration, ceilDiv(mac_vecs, 1) * vc);
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Lowering, HintCacheKeysOnDigitCount)
+{
+    // The same key identity used with different digit counts needs
+    // differently shaped hints; caching on the key alone would hand
+    // the second keyswitch a hint of the wrong size.
+    HomProgram hp;
+    hp.name = "ksh-digits";
+    hp.logN = 14;
+    hp.lMax = 12;
+    HomOp in;
+    in.id = 0;
+    in.kind = HomOpKind::Input;
+    in.level = in.outLevel = 12;
+    hp.ops.push_back(in);
+    HomOp r1;
+    r1.id = 1;
+    r1.kind = HomOpKind::Rotate;
+    r1.args = {0};
+    r1.level = r1.outLevel = 12;
+    r1.rotateBy = 1;
+    r1.keyId = "k";
+    r1.digits = 2;
+    hp.ops.push_back(r1);
+    HomOp r2 = r1;
+    r2.id = 2;
+    r2.args = {1};
+    r2.digits = 1;
+    hp.ops.push_back(r2);
+
+    const ChipConfig cfg = ChipConfig::craterLake();
+    Lowering lower(cfg);
+    const Program p = lower.lower(hp);
+
+    // Two distinct hints: t=2 -> dnum 2, ext 18; t=1 -> dnum 1,
+    // ext 24. With KSHGen, dnum*ext*N words each (b-halves only).
+    const std::uint64_t n = p.n;
+    std::vector<std::uint64_t> hint_words;
+    for (const Value &v : p.values) {
+        if (v.kind == ValueKind::KeySwitchHint)
+            hint_words.push_back(v.words);
+    }
+    ASSERT_EQ(hint_words.size(), 2u);
+    EXPECT_EQ(hint_words[0], 2u * 18 * n);
+    EXPECT_EQ(hint_words[1], 1u * 24 * n);
+
+    // The corrected hint traffic: each hint loaded exactly once.
+    Simulator sim(cfg);
+    const SimStats stats = sim.run(p);
+    EXPECT_EQ(stats.kshLoadWords, 2u * 18 * n + 1u * 24 * n);
 }
 
 TEST(Lowering, NetworkWordsMatchSec43)

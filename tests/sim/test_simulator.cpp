@@ -271,6 +271,202 @@ TEST(Simulator, CrossbarInflatesTraffic)
                 2.4, 0.01);
 }
 
+// --- Belady eviction order with streamed operands --------------------
+
+namespace {
+
+/** Config with an exactly-known register file and memory bandwidth:
+ *  capacity rf_words (wordBytes = 3.5) and 256 words/cycle, so every
+ *  transfer of w words takes floor(w/256)+1 cycles. */
+ChipConfig
+exactConfig(std::uint64_t rf_words)
+{
+    ChipConfig cfg = ChipConfig::craterLake();
+    cfg.rfBytes = static_cast<std::uint64_t>(rf_words * 3.5);
+    cfg.hbmPhys = 2;
+    cfg.hbmGBpsPerPhy = 448.0; // 896 B/cy / 3.5 B = 256 words/cy
+    cfg.freqGhz = 1.0;
+    return cfg;
+}
+
+PolyInst
+simpleInst(std::vector<std::uint32_t> reads,
+           std::vector<std::uint32_t> writes, const char *mnemonic)
+{
+    PolyInst inst;
+    inst.mnemonic = mnemonic;
+    inst.n = 1 << 16;
+    inst.fus = {{FuType::Add, 1, 16}};
+    inst.reads = std::move(reads);
+    inst.writes = std::move(writes);
+    inst.duration = 10;
+    inst.rfPorts = 2;
+    return inst;
+}
+
+} // namespace
+
+TEST(Simulator, BeladyStreamedReadAdvancesNextUse)
+{
+    // A value that was STREAMED (read while not resident) must still
+    // consume that use: when it later becomes resident again, its
+    // Belady key has to point at a future consumer, not a past one.
+    // Otherwise the eviction order inverts — the stale entry looks
+    // maximally urgent and the replacement policy evicts a value with
+    // a genuinely nearer use instead.
+    //
+    // 2000-word register file. Values (creation order):
+    //   F: Input, 900 w, consumers {0, 1, 5}
+    //   G: Input, 800 w, consumers {0, 1, 2, 4}
+    //   S: Intermediate, 600 w, produced by i0, rewritten in place by
+    //      i2 (which does NOT read it), consumers {1, 6}
+    //   A: Input, 700 w, consumers {3}
+    //
+    //   i0 reads {F,G} writes {S}: F, G load (1700 w); S stream-stores.
+    //   i1 reads {S,F,G}:          S streams (F, G pinned).
+    //   i2 reads {G}  writes {S}:  F evicted; S inserted. Its key is
+    //                              consumer 6 if i1's streamed use was
+    //                              consumed — stale consumer 1 if not.
+    //   i3 reads {A}:              room for A needs one eviction.
+    //                                fixed: S (next use 6) spills;
+    //                                buggy: stale S looks urgent, G
+    //                                (next use 4) is evicted instead.
+    //   i4 reads {G}, i5 reads {F}, i6 reads {S}: pay for the choice.
+    Program p;
+    p.n = 1 << 16;
+    const auto F = p.addValue(ValueKind::Input, 900, "F");
+    const auto G = p.addValue(ValueKind::Input, 800, "G");
+    const auto S = p.addValue(ValueKind::Intermediate, 600, "S");
+    const auto A = p.addValue(ValueKind::Input, 700, "A");
+    p.addInst(simpleInst({F, G}, {S}, "i0"));
+    p.addInst(simpleInst({S, F, G}, {}, "i1"));
+    p.addInst(simpleInst({G}, {S}, "i2"));
+    p.addInst(simpleInst({A}, {}, "i3"));
+    p.addInst(simpleInst({G}, {}, "i4"));
+    p.addInst(simpleInst({F}, {}, "i5"));
+    p.addInst(simpleInst({S}, {}, "i6"));
+
+    Simulator sim(exactConfig(2000));
+    const SimStats stats = sim.run(p);
+    // Fixed eviction order: F+G+A loaded once plus one F reload
+    // (buggy order reloads G and A too: 4100 input words).
+    EXPECT_EQ(stats.inputLoadWords, 3300u);
+    // S: streamed once at i1, reloaded once at i6 (buggy: 600).
+    EXPECT_EQ(stats.intermLoadWords, 1200u);
+    // S: stream-stored at i0, spilled live at i3 (buggy: 600).
+    EXPECT_EQ(stats.intermStoreWords, 1200u);
+}
+
+// --- Deterministic pins for every traffic counter --------------------
+//
+// Each test fixes an exact configuration (see exactConfig) and a
+// hand-built program whose timeline is computed in the comments, then
+// pins `cycles` and the full SimStats counter set so that any change
+// to issue, residency, or memory accounting shows up as a diff here.
+
+TEST(Simulator, RegressionPinOutputStore)
+{
+    // in(2560 w) loads in 11 cy; compute 1000 cy; output store starts
+    // at finish (1011) and holds the channel 11 cy -> cycles 1022.
+    Program p;
+    p.n = 1 << 16;
+    const auto in = p.addValue(ValueKind::Input, 2560, "in");
+    const auto out = p.addValue(ValueKind::Output, 2560, "out");
+    PolyInst inst = simpleInst({in}, {out}, "op");
+    inst.duration = 1000;
+    p.addInst(std::move(inst));
+
+    Simulator sim(exactConfig(8192));
+    const SimStats stats = sim.run(p);
+    EXPECT_EQ(stats.cycles, 1022u);
+    EXPECT_EQ(stats.inputLoadWords, 2560u);
+    EXPECT_EQ(stats.outputStoreWords, 2560u);
+    EXPECT_EQ(stats.intermLoadWords, 0u);
+    EXPECT_EQ(stats.intermStoreWords, 0u);
+    EXPECT_EQ(stats.kshLoadWords, 0u);
+    EXPECT_EQ(stats.plainLoadWords, 0u);
+    EXPECT_EQ(stats.memBusyCycles, 22u);
+    EXPECT_EQ(stats.fuBusy[static_cast<unsigned>(FuType::Add)], 1000u);
+    EXPECT_EQ(stats.networkWords, 0u);
+}
+
+TEST(Simulator, RegressionPinSpillReload)
+{
+    // 4096-word register file. i0 loads in(256), produces t1(2560,
+    // dirty). i1 needs k(2560): evicts in (clean) then spills t1
+    // (11 cy), loads k (11 cy). i2 rereads t1: evicts the dead t2 and
+    // the exhausted k, reloads t1 (11 cy). Timeline: ready 24 at i1
+    // (memFreeAt after spill+load), ready 35 at i2; finish 45.
+    Program p;
+    p.n = 1 << 16;
+    const auto in = p.addValue(ValueKind::Input, 256, "in");
+    const auto t1 = p.addValue(ValueKind::Intermediate, 2560, "t1");
+    const auto k = p.addValue(ValueKind::KeySwitchHint, 2560, "k");
+    const auto t2 = p.addValue(ValueKind::Intermediate, 256, "t2");
+    const auto t3 = p.addValue(ValueKind::Intermediate, 256, "t3");
+    p.addInst(simpleInst({in}, {t1}, "produce"));
+    p.addInst(simpleInst({k}, {t2}, "other"));
+    p.addInst(simpleInst({t1}, {t3}, "consume"));
+
+    Simulator sim(exactConfig(4096));
+    const SimStats stats = sim.run(p);
+    EXPECT_EQ(stats.cycles, 45u);
+    EXPECT_EQ(stats.inputLoadWords, 256u);
+    EXPECT_EQ(stats.kshLoadWords, 2560u);
+    EXPECT_EQ(stats.intermStoreWords, 2560u); // t1 spill
+    EXPECT_EQ(stats.intermLoadWords, 2560u);  // t1 reload
+    EXPECT_EQ(stats.outputStoreWords, 0u);
+    EXPECT_EQ(stats.memBusyCycles, 35u);
+    EXPECT_EQ(stats.fuBusy[static_cast<unsigned>(FuType::Add)], 30u);
+}
+
+TEST(Simulator, RegressionPinStreaming)
+{
+    // 1024-word register file, 2560-word operand: never fits, streams
+    // on both uses (11 cy each on the memory channel).
+    Program p;
+    p.n = 1 << 16;
+    const auto S = p.addValue(ValueKind::Input, 2560, "S");
+    const auto o0 = p.addValue(ValueKind::Intermediate, 256, "o0");
+    const auto o1 = p.addValue(ValueKind::Intermediate, 256, "o1");
+    p.addInst(simpleInst({S}, {o0}, "use0"));
+    p.addInst(simpleInst({S}, {o1}, "use1"));
+
+    Simulator sim(exactConfig(1024));
+    const SimStats stats = sim.run(p);
+    EXPECT_EQ(stats.cycles, 32u);
+    EXPECT_EQ(stats.inputLoadWords, 5120u); // streamed twice
+    EXPECT_EQ(stats.intermLoadWords, 0u);
+    EXPECT_EQ(stats.intermStoreWords, 0u); // results fit
+    EXPECT_EQ(stats.outputStoreWords, 0u);
+    EXPECT_EQ(stats.memBusyCycles, 22u);
+}
+
+TEST(Simulator, RegressionPinInPlaceRmw)
+{
+    // v is produced, rewritten in place (read+write), then consumed
+    // into an output. No spill traffic; one input load, one output
+    // store, and a dead-free of v at its last use.
+    Program p;
+    p.n = 1 << 16;
+    const auto in = p.addValue(ValueKind::Input, 256, "in");
+    const auto v = p.addValue(ValueKind::Intermediate, 256, "v");
+    const auto o = p.addValue(ValueKind::Output, 256, "o");
+    p.addInst(simpleInst({in}, {v}, "produce"));
+    p.addInst(simpleInst({v}, {v}, "rmw"));
+    p.addInst(simpleInst({v}, {o}, "store"));
+
+    Simulator sim(exactConfig(4096));
+    const SimStats stats = sim.run(p);
+    EXPECT_EQ(stats.cycles, 34u);
+    EXPECT_EQ(stats.inputLoadWords, 256u);
+    EXPECT_EQ(stats.outputStoreWords, 256u);
+    EXPECT_EQ(stats.intermLoadWords, 0u);
+    EXPECT_EQ(stats.intermStoreWords, 0u);
+    EXPECT_EQ(stats.memBusyCycles, 4u);
+    EXPECT_EQ(stats.fuBusy[static_cast<unsigned>(FuType::Add)], 30u);
+}
+
 TEST(Simulator, EnergyAccountingConsistent)
 {
     const ChipConfig cfg = ChipConfig::craterLake();

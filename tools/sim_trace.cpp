@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Run one benchmark under a named ChipConfig with instruction-level
+ * tracing, and write the observability artifacts:
+ *
+ *  - <out>/<benchmark>_<config>_trace.json   Chrome trace_event JSON
+ *  - <out>/<benchmark>_<config>_report.txt   bottleneck report
+ *  - <out>/BENCH_sim.json                    machine-readable snapshot
+ *
+ * The report is also printed to stdout. BENCH_sim.json is the
+ * regression-comparable artifact perf PRs diff against.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/craterlake.h"
+#include "sim/trace.h"
+#include "workloads/benchmarks.h"
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "usage: sim_trace <benchmark> [options]\n"
+        "  --config NAME    chip configuration (default: craterlake)\n"
+        "  --security BITS  80, 128 or 200 (default: 80)\n"
+        "  --out DIR        output directory (default: .)\n"
+        "  --top K          stalled instructions listed (default: 10)\n"
+        "  --list           print benchmark slugs and exit\n");
+    std::printf("benchmarks:");
+    for (const std::string &n : cl::benchmarkNames())
+        std::printf(" %s", n.c_str());
+    std::printf("\nconfigs: craterlake craterlake-128k no-kshgen "
+                "no-crb crossbar f1plus rf<MB>\n");
+}
+
+std::string
+slugify(std::string s)
+{
+    for (char &c : s) {
+        if (c == ' ' || c == '/')
+            c = '-';
+    }
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cl;
+
+    std::string bench_name, config_name = "craterlake", out_dir = ".";
+    unsigned security = 80;
+    std::size_t top_k = 10;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            usage();
+            return 0;
+        } else if (arg == "--config") {
+            config_name = value();
+        } else if (arg == "--security") {
+            security = static_cast<unsigned>(std::stoul(value()));
+        } else if (arg == "--out") {
+            out_dir = value();
+        } else if (arg == "--top") {
+            top_k = static_cast<std::size_t>(std::stoul(value()));
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage();
+            return 2;
+        } else {
+            bench_name = arg;
+        }
+    }
+    if (bench_name.empty()) {
+        usage();
+        return 2;
+    }
+
+    SecurityConfig sec = SecurityConfig::bits80();
+    if (security == 128)
+        sec = SecurityConfig::bits128();
+    else if (security == 200)
+        sec = SecurityConfig::bits200();
+    else if (security != 80)
+        CL_FATAL("unknown security level ", security, "; use 80/128/200");
+
+    const ChipConfig cfg = ChipConfig::byName(config_name);
+    const HomProgram hp = benchmarkByName(bench_name, sec);
+
+    Lowering lower(cfg);
+    const Program prog = lower.lower(hp);
+    Simulator sim(cfg);
+    TraceRecorder rec;
+    const SimStats stats = sim.run(prog, &rec);
+
+    const std::string stem =
+        out_dir + "/" + slugify(bench_name) + "_" + slugify(cfg.name);
+
+    {
+        std::ofstream os(stem + "_trace.json");
+        if (!os)
+            CL_FATAL("cannot write ", stem, "_trace.json");
+        rec.writeChromeTrace(os, cfg);
+    }
+
+    std::ostringstream report;
+    rec.writeBottleneckReport(report, cfg, stats, top_k);
+    std::fputs(report.str().c_str(), stdout);
+    {
+        std::ofstream os(stem + "_report.txt");
+        if (!os)
+            CL_FATAL("cannot write ", stem, "_report.txt");
+        os << report.str();
+    }
+
+    {
+        std::ofstream os(out_dir + "/BENCH_sim.json");
+        if (!os)
+            CL_FATAL("cannot write ", out_dir, "/BENCH_sim.json");
+        char buf[256];
+        os << "{\n";
+        os << "  \"benchmark\": \"" << bench_name << "\",\n";
+        os << "  \"config\": \"" << cfg.name << "\",\n";
+        os << "  \"security\": \"" << sec.name << "\",\n";
+        os << "  \"hom_ops\": " << hp.ops.size() << ",\n";
+        os << "  \"instructions\": " << prog.size() << ",\n";
+        os << "  \"cycles\": " << stats.cycles << ",\n";
+        std::snprintf(buf, sizeof buf, "%.6f",
+                      stats.seconds(cfg) * 1e3);
+        os << "  \"ms\": " << buf << ",\n";
+        std::snprintf(buf, sizeof buf, "%.6f",
+                      stats.fuUtilization(cfg));
+        os << "  \"fu_utilization\": " << buf << ",\n";
+        std::snprintf(buf, sizeof buf, "%.6f", stats.memUtilization());
+        os << "  \"mem_utilization\": " << buf << ",\n";
+        std::snprintf(buf, sizeof buf, "%.3f",
+                      stats.avgPowerWatts(cfg));
+        os << "  \"avg_power_w\": " << buf << ",\n";
+        os << "  \"traffic_words\": {\n";
+        os << "    \"ksh_load\": " << stats.kshLoadWords << ",\n";
+        os << "    \"input_load\": " << stats.inputLoadWords << ",\n";
+        os << "    \"plain_load\": " << stats.plainLoadWords << ",\n";
+        os << "    \"interm_load\": " << stats.intermLoadWords << ",\n";
+        os << "    \"interm_store\": " << stats.intermStoreWords
+           << ",\n";
+        os << "    \"output_store\": " << stats.outputStoreWords
+           << ",\n";
+        os << "    \"total\": " << stats.totalTrafficWords() << "\n";
+        os << "  },\n";
+        os << "  \"rf_access_words\": " << stats.rfAccessWords << ",\n";
+        os << "  \"network_words\": " << stats.networkWords << "\n";
+        os << "}\n";
+    }
+
+    std::printf("\nwrote %s_trace.json, %s_report.txt, %s/BENCH_sim.json\n",
+                stem.c_str(), stem.c_str(), out_dir.c_str());
+    return 0;
+}

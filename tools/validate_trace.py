@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Validate sim_trace artifacts against their schemas.
+
+Usage: validate_trace.py <trace.json> <BENCH_sim.json>
+
+Checks that the trace is well-formed Chrome trace_event JSON (the
+subset sim_trace emits) and that the BENCH_sim.json snapshot carries
+every field perf regressions are diffed on. Exits non-zero with a
+message on the first violation.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"validate_trace: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: missing top-level traceEvents")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents must be a non-empty list")
+    n_complete = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"{path}: event {i} is not an object")
+        for key in ("ph", "pid", "name"):
+            if key not in ev:
+                fail(f"{path}: event {i} lacks '{key}'")
+        if ev["ph"] == "X":
+            n_complete += 1
+            for key in ("tid", "ts", "dur", "args"):
+                if key not in ev:
+                    fail(f"{path}: X event {i} lacks '{key}'")
+            if ev["ts"] < 0 or ev["dur"] < 0:
+                fail(f"{path}: X event {i} has negative ts/dur")
+        elif ev["ph"] != "M":
+            fail(f"{path}: event {i} has unexpected phase {ev['ph']!r}")
+    if n_complete == 0:
+        fail(f"{path}: no complete ('X') events")
+    print(f"{path}: OK ({len(events)} events, {n_complete} spans)")
+
+
+def validate_bench(path):
+    with open(path) as f:
+        doc = json.load(f)
+    required = {
+        "benchmark": str,
+        "config": str,
+        "security": str,
+        "hom_ops": int,
+        "instructions": int,
+        "cycles": int,
+        "ms": float,
+        "fu_utilization": float,
+        "mem_utilization": float,
+        "avg_power_w": float,
+        "traffic_words": dict,
+        "rf_access_words": int,
+        "network_words": int,
+    }
+    for key, typ in required.items():
+        if key not in doc:
+            fail(f"{path}: missing '{key}'")
+        if not isinstance(doc[key], typ):
+            fail(f"{path}: '{key}' must be {typ.__name__}")
+    traffic = doc["traffic_words"]
+    for key in ("ksh_load", "input_load", "plain_load", "interm_load",
+                "interm_store", "output_store", "total"):
+        if not isinstance(traffic.get(key), int):
+            fail(f"{path}: traffic_words.{key} missing or non-integer")
+    parts = sum(v for k, v in traffic.items() if k != "total")
+    if parts != traffic["total"]:
+        fail(f"{path}: traffic_words.total {traffic['total']} != "
+             f"sum of categories {parts}")
+    if doc["cycles"] <= 0:
+        fail(f"{path}: cycles must be positive")
+    if not 0.0 <= doc["fu_utilization"] <= 1.0:
+        fail(f"{path}: fu_utilization out of [0,1]")
+    print(f"{path}: OK")
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail("usage: validate_trace.py <trace.json> <BENCH_sim.json>")
+    validate_trace(sys.argv[1])
+    validate_bench(sys.argv[2])
+
+
+if __name__ == "__main__":
+    main()
