@@ -168,6 +168,10 @@ Simulator::run(const Program &prog, TraceSink *trace)
                      memFreeAt + dur);
                 memFreeAt += dur;
                 stats.memBusyCycles += dur;
+            } else {
+                // Clean (or dead) copy: dropped without writeback.
+                note(ResidencyAction::Evict, victim, memFreeAt,
+                     memFreeAt);
             }
             resident_erase(victim, victim_use);
             res[victim].resident = false;
@@ -193,9 +197,14 @@ Simulator::run(const Program &prog, TraceSink *trace)
              memFreeAt, memFreeAt + dur);
         memFreeAt += dur;
         stats.memBusyCycles += dur;
+        // The value's bits exist only once its producer has finished:
+        // readyAt carries the last writer's finish even while the
+        // value is off-chip (spilled or stream-stored), so a reload
+        // can never hand data to a consumer before it was computed.
+        const std::uint64_t data_at = std::max(memFreeAt, r.readyAt);
         if (fits) {
             r.resident = true;
-            r.readyAt = memFreeAt;
+            r.readyAt = data_at;
             r.dirty = false;
             used += v.words;
             resident_insert(vid);
@@ -203,7 +212,7 @@ Simulator::run(const Program &prog, TraceSink *trace)
         }
         // Streamed: consumed directly from the memory interface;
         // future uses reload.
-        return memFreeAt;
+        return data_at;
     };
 
     // --- Main in-order issue loop ---
@@ -218,8 +227,17 @@ Simulator::run(const Program &prog, TraceSink *trace)
         std::vector<std::uint32_t> pinned = inst.reads;
         pinned.insert(pinned.end(), inst.writes.begin(), inst.writes.end());
 
-        // Operand residency (prefetched on the memory timeline).
-        for (std::uint32_t vid : inst.reads)
+        // Operand residency (prefetched on the memory timeline). A
+        // value listed twice in `reads` is one operand: it is fetched
+        // — and its transfer charged — exactly once per instruction.
+        std::vector<std::uint32_t> unique_reads;
+        unique_reads.reserve(inst.reads.size());
+        for (std::uint32_t vid : inst.reads) {
+            if (std::find(unique_reads.begin(), unique_reads.end(),
+                          vid) == unique_reads.end())
+                unique_reads.push_back(vid);
+        }
+        for (std::uint32_t vid : unique_reads)
             ready = std::max(ready, ensure_resident(vid, pinned));
         const std::uint64_t operands_at = ready;
 
@@ -230,6 +248,8 @@ Simulator::run(const Program &prog, TraceSink *trace)
                     res[vid].resident = true;
                     used += prog.values[vid].words;
                     resident_insert(vid);
+                    note(ResidencyAction::Alloc, vid, memFreeAt,
+                         memFreeAt);
                 } else {
                     // Result streams straight back to memory.
                     stats.intermStoreWords += prog.values[vid].words;
@@ -251,15 +271,24 @@ Simulator::run(const Program &prog, TraceSink *trace)
                                   ? StallReason::Operand
                                   : StallReason::None;
         FuType binding_fu = FuType::Ntt;
+        // Same-type FuUse entries compose: the pool must have the
+        // *sum* of their units simultaneously free. Querying each use
+        // independently would let two batches claim overlapping units.
+        std::array<unsigned, numFuTypes> fu_need{};
         for (const FuUse &use : inst.fus) {
-            auto &pool = *fuPools[static_cast<unsigned>(use.type)];
             CL_ASSERT(cfg_.fuCount(use.type) > 0, "inst ", inst.id, " (",
                       inst.mnemonic, ") needs absent FU ",
                       fuTypeName(use.type));
-            const std::uint64_t at = pool.earliest(use.units, start);
+            fu_need[static_cast<unsigned>(use.type)] += use.units;
+        }
+        for (unsigned t = 0; t < numFuTypes; ++t) {
+            if (fu_need[t] == 0)
+                continue;
+            const std::uint64_t at = fuPools[t]->earliest(fu_need[t],
+                                                          start);
             if (at > start) {
                 binding = StallReason::Fu;
-                binding_fu = use.type;
+                binding_fu = static_cast<FuType>(t);
                 start = at;
             }
         }
@@ -284,9 +313,11 @@ Simulator::run(const Program &prog, TraceSink *trace)
 
         const std::uint64_t finish = start + inst.duration;
 
+        for (unsigned t = 0; t < numFuTypes; ++t) {
+            if (fu_need[t] > 0)
+                fuPools[t]->acquire(fu_need[t], start, inst.duration);
+        }
         for (const FuUse &use : inst.fus) {
-            auto &pool = *fuPools[static_cast<unsigned>(use.type)];
-            pool.acquire(use.units, start, inst.duration);
             stats.fuBusy[static_cast<unsigned>(use.type)] +=
                 use.units * inst.duration;
             stats.fuLaneOps[static_cast<unsigned>(use.type)] += use.laneOps;
@@ -316,7 +347,7 @@ Simulator::run(const Program &prog, TraceSink *trace)
                 stats.memBusyCycles += dur;
             }
         }
-        for (std::uint32_t vid : inst.reads) {
+        for (std::uint32_t vid : unique_reads) {
             Resident &r = res[vid];
             const auto &cons = prog.values[vid].consumers;
             if (!r.resident) {

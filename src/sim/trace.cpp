@@ -42,6 +42,10 @@ residencyActionName(ResidencyAction a)
         return "store-out";
       case ResidencyAction::DeadFree:
         return "dead-free";
+      case ResidencyAction::Alloc:
+        return "alloc";
+      case ResidencyAction::Evict:
+        return "evict";
       default:
         CL_PANIC("bad residency action");
     }

@@ -45,7 +45,10 @@ enum class StallReason
 
 const char *stallReasonName(StallReason r);
 
-/** What happened to a value on the memory channel / register file. */
+/** What happened to a value on the memory channel / register file.
+ *  Together these cover *every* resident-set mutation, so a replay of
+ *  the event stream reconstructs register-file occupancy exactly
+ *  (verify/verifier.h leans on this). */
 enum class ResidencyAction
 {
     Load,        ///< Fetched into the register file.
@@ -54,6 +57,8 @@ enum class ResidencyAction
     StreamStore, ///< Result streamed back to memory (no capacity).
     StoreOut,    ///< Output streamed to the host.
     DeadFree,    ///< Freed without writeback after the last use.
+    Alloc,       ///< Result space reserved in the register file.
+    Evict,       ///< Clean (or dead) copy dropped without writeback.
 };
 
 const char *residencyActionName(ResidencyAction a);

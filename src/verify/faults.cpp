@@ -1,0 +1,151 @@
+#include "faults.h"
+
+#include <algorithm>
+
+namespace cl {
+
+const char *
+faultClassName(FaultClass f)
+{
+    switch (f) {
+      case FaultClass::SwapDependency:
+        return "swap-dependency";
+      case FaultClass::InflateDuration:
+        return "inflate-duration";
+      case FaultClass::DropSpill:
+        return "drop-spill";
+      case FaultClass::OversubscribePool:
+        return "oversubscribe-pool";
+      case FaultClass::OversubscribePorts:
+        return "oversubscribe-ports";
+      case FaultClass::OverlapNetwork:
+        return "overlap-network";
+      case FaultClass::DropEviction:
+        return "drop-eviction";
+      default:
+        CL_PANIC("bad fault class");
+    }
+}
+
+ViolationKind
+expectedViolation(FaultClass f)
+{
+    switch (f) {
+      case FaultClass::SwapDependency:
+        return ViolationKind::DependencyOrder;
+      case FaultClass::InflateDuration:
+        return ViolationKind::DurationMismatch;
+      case FaultClass::DropSpill:
+        return ViolationKind::AccountingMismatch;
+      case FaultClass::OversubscribePool:
+        return ViolationKind::FuOversubscribed;
+      case FaultClass::OversubscribePorts:
+        return ViolationKind::RfPortsOversubscribed;
+      case FaultClass::OverlapNetwork:
+        return ViolationKind::NetworkOverlap;
+      case FaultClass::DropEviction:
+        return ViolationKind::ResidencyConservation;
+      default:
+        CL_PANIC("bad fault class");
+    }
+}
+
+bool
+injectFault(FaultClass f, const Program &prog, const ChipConfig &cfg,
+            std::vector<InstTrace> &insts,
+            std::vector<ResidencyEvent> &events, SimStats &stats)
+{
+    (void)stats; // mutations perturb the schedule, never the stats:
+                 // the divergence is exactly what conservation checks.
+    switch (f) {
+      case FaultClass::SwapDependency: {
+        // Hoist the first dependent consumer to one cycle before its
+        // producer's finish.
+        std::vector<std::int64_t> last_writer(prog.values.size(), -1);
+        for (std::size_t i = 0; i < prog.insts.size(); ++i) {
+            for (std::uint32_t vid : prog.insts[i].reads) {
+                const std::int64_t p = last_writer[vid];
+                if (p >= 0 && insts[p].finish >= 1) {
+                    insts[i].start = insts[p].finish - 1;
+                    insts[i].finish =
+                        insts[i].start + prog.insts[i].duration;
+                    return true;
+                }
+            }
+            for (std::uint32_t vid : prog.insts[i].writes)
+                last_writer[vid] = static_cast<std::int64_t>(i);
+        }
+        return false;
+      }
+      case FaultClass::InflateDuration: {
+        if (insts.empty())
+            return false;
+        insts.front().finish += 997;
+        return true;
+      }
+      case FaultClass::DropSpill: {
+        for (auto it = events.begin(); it != events.end(); ++it) {
+            if (it->action == ResidencyAction::Spill) {
+                events.erase(it);
+                return true;
+            }
+        }
+        return false;
+      }
+      case FaultClass::OversubscribePool: {
+        for (InstTrace &t : insts) {
+            for (FuUse &u : t.fus) {
+                if (cfg.fuCount(u.type) > 0) {
+                    u.units = cfg.fuCount(u.type) + 1;
+                    return true;
+                }
+            }
+        }
+        return false;
+      }
+      case FaultClass::OversubscribePorts: {
+        if (insts.empty())
+            return false;
+        insts.front().rfPorts = cfg.rfPorts + 1;
+        return true;
+      }
+      case FaultClass::OverlapNetwork: {
+        // Stretch one transfer into the next one's window.
+        InstTrace *prev = nullptr;
+        for (InstTrace &t : insts) {
+            if (t.networkWords == 0)
+                continue;
+            if (prev) {
+                prev->netBusyUntil =
+                    std::max(prev->netBusyUntil, t.start + 1);
+                return true;
+            }
+            prev = &t;
+        }
+        return false;
+      }
+      case FaultClass::DropEviction: {
+        // Delete an eviction whose value is later reloaded, so the
+        // replayed resident set sees a second copy admitted.
+        for (auto it = events.begin(); it != events.end(); ++it) {
+            if (it->action != ResidencyAction::Evict)
+                continue;
+            const std::uint32_t vid = it->valueId;
+            const bool reloaded = std::any_of(
+                it + 1, events.end(), [&](const ResidencyEvent &e) {
+                    return e.valueId == vid &&
+                           (e.action == ResidencyAction::Load ||
+                            e.action == ResidencyAction::Stream);
+                });
+            if (reloaded) {
+                events.erase(it);
+                return true;
+            }
+        }
+        return false;
+      }
+    }
+    return false;
+}
+
+} // namespace cl

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Schedule fault injection: mutate a recorded schedule so that it
+ * exhibits exactly one known defect class, then prove the verifier
+ * catches it with the right diagnostic.
+ *
+ * This is the verifier's own test harness (a verifier that never
+ * fires is indistinguishable from one that checks nothing), and it
+ * documents, executably, which simulator bugs each check would have
+ * caught — e.g. SwapDependency is the streamed producer→consumer
+ * hazard the simulator shipped with, and OversubscribePool is its
+ * same-type FuUse composition bug.
+ */
+
+#ifndef CL_VERIFY_FAULTS_H
+#define CL_VERIFY_FAULTS_H
+
+#include <array>
+
+#include "verify/verifier.h"
+
+namespace cl {
+
+/** Mutation classes, each mapped to the diagnostic that must fire. */
+enum class FaultClass
+{
+    SwapDependency,    ///< Hoist a consumer before its producer ends.
+    InflateDuration,   ///< Stretch a finish past start + duration.
+    DropSpill,         ///< Delete a spill writeback from the record.
+    OversubscribePool, ///< Claim more FU units than the pool holds.
+    OversubscribePorts,///< Claim more RF ports than the budget.
+    OverlapNetwork,    ///< Stretch a transfer into its successor's.
+    DropEviction,      ///< Delete an eviction: the value stays put.
+};
+
+constexpr std::array<FaultClass, 7> allFaultClasses = {
+    FaultClass::SwapDependency,    FaultClass::InflateDuration,
+    FaultClass::DropSpill,         FaultClass::OversubscribePool,
+    FaultClass::OversubscribePorts, FaultClass::OverlapNetwork,
+    FaultClass::DropEviction,
+};
+
+const char *faultClassName(FaultClass f);
+
+/** The diagnostic the verifier must raise for each fault class. */
+ViolationKind expectedViolation(FaultClass f);
+
+/**
+ * Mutate a recorded schedule in place to exhibit @p f. Returns false
+ * when the schedule offers no injection site for this class (e.g. no
+ * spill ever happened); the schedule is then left untouched.
+ */
+bool injectFault(FaultClass f, const Program &prog,
+                 const ChipConfig &cfg, std::vector<InstTrace> &insts,
+                 std::vector<ResidencyEvent> &events, SimStats &stats);
+
+} // namespace cl
+
+#endif // CL_VERIFY_FAULTS_H

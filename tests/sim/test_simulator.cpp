@@ -467,6 +467,100 @@ TEST(Simulator, RegressionPinInPlaceRmw)
     EXPECT_EQ(stats.fuBusy[static_cast<unsigned>(FuType::Add)], 30u);
 }
 
+TEST(Simulator, RegressionPinSpilledProducerGatesConsumer)
+{
+    // Same shape as RegressionPinSpillReload but the producer runs
+    // 1000 cycles. Its result t1 is spilled (memory timeline, cycles
+    // 2-13) and reloaded (24-35) long before the producer finishes at
+    // 1002 — the transfers only move the *space*; the data exists at
+    // the producer's finish. The consumer must start at
+    // max(reload done, producer finish) = 1002, not 35. (Before the
+    // fix, ensure_resident returned the pure memory-timeline time and
+    // the consumer read its operand 967 cycles before it was written.)
+    Program p;
+    p.n = 1 << 16;
+    const auto in = p.addValue(ValueKind::Input, 256, "in");
+    const auto t1 = p.addValue(ValueKind::Intermediate, 2560, "t1");
+    const auto k = p.addValue(ValueKind::KeySwitchHint, 2560, "k");
+    const auto t2 = p.addValue(ValueKind::Intermediate, 256, "t2");
+    const auto t3 = p.addValue(ValueKind::Intermediate, 256, "t3");
+    PolyInst produce = simpleInst({in}, {t1}, "produce");
+    produce.duration = 1000;
+    p.addInst(std::move(produce));
+    p.addInst(simpleInst({k}, {t2}, "other"));
+    p.addInst(simpleInst({t1}, {t3}, "consume"));
+
+    Simulator sim(exactConfig(4096));
+    const SimStats stats = sim.run(p);
+    // consume: operands at max(35, 1002) = 1002, finish 1012.
+    EXPECT_EQ(stats.cycles, 1012u);
+    // Traffic is unchanged from the short-producer variant.
+    EXPECT_EQ(stats.inputLoadWords, 256u);
+    EXPECT_EQ(stats.kshLoadWords, 2560u);
+    EXPECT_EQ(stats.intermStoreWords, 2560u);
+    EXPECT_EQ(stats.intermLoadWords, 2560u);
+    EXPECT_EQ(stats.memBusyCycles, 35u);
+    EXPECT_EQ(stats.fuBusy[static_cast<unsigned>(FuType::Add)], 1020u);
+}
+
+TEST(Simulator, RegressionPinDuplicateReadChargedOnce)
+{
+    // An operand listed twice in one instruction's reads is one
+    // operand: it occupies the memory channel (and the traffic
+    // counters) once, not once per mention. S (2560 w) never fits the
+    // 1024-word register file, so i1's double mention streams it:
+    // stream-store holds the channel 2-13, one streamed reload 13-24,
+    // start max(24, producer finish 12) = 24, finish 34. (Before the
+    // fix the second mention streamed S again: 5120 intermediate load
+    // words and 11 extra cycles.)
+    Program p;
+    p.n = 1 << 16;
+    const auto in = p.addValue(ValueKind::Input, 256, "in");
+    const auto S = p.addValue(ValueKind::Intermediate, 2560, "S");
+    const auto o = p.addValue(ValueKind::Intermediate, 256, "o");
+    p.addInst(simpleInst({in}, {S}, "produce"));
+    p.addInst(simpleInst({S, S}, {o}, "square"));
+
+    Simulator sim(exactConfig(1024));
+    const SimStats stats = sim.run(p);
+    EXPECT_EQ(stats.intermLoadWords, 2560u);
+    EXPECT_EQ(stats.intermStoreWords, 2560u);
+    EXPECT_EQ(stats.inputLoadWords, 256u);
+    EXPECT_EQ(stats.memBusyCycles, 24u);
+    EXPECT_EQ(stats.cycles, 34u);
+}
+
+TEST(Simulator, SameTypeFuUsesCompose)
+{
+    // An instruction may split one FU class across several FuUse
+    // entries (distinct lane groups). The claims must be merged: on a
+    // 2-adder chip with one adder busy for 1000 cycles, an
+    // independent {Add x1, Add x1} instruction needs both adders and
+    // waits. (Before the fix each entry probed the pool
+    // independently, both picked the one free adder, and the second
+    // acquire tripped the "unit busy" assertion — a crash on a legal
+    // program.)
+    Program p;
+    p.n = 1 << 16;
+    const auto in = p.addValue(ValueKind::Input, 1024, "in");
+    const auto t0 = p.addValue(ValueKind::Intermediate, 1024, "t0");
+    const auto t1 = p.addValue(ValueKind::Intermediate, 1024, "t1");
+    PolyInst slow = simpleInst({in}, {t0}, "slow");
+    slow.duration = 1000;
+    p.addInst(std::move(slow));
+    PolyInst split = simpleInst({in}, {t1}, "split");
+    split.fus = {{FuType::Add, 1, 16}, {FuType::Add, 1, 16}};
+    p.addInst(std::move(split));
+
+    ChipConfig cfg = ChipConfig::craterLake();
+    cfg.addUnits = 2;
+    Simulator sim(cfg);
+    const SimStats stats = sim.run(p);
+    // split waits for slow's adder: finish >= 1000 + 10.
+    EXPECT_GE(stats.cycles, 1010u);
+    EXPECT_EQ(stats.fuBusy[static_cast<unsigned>(FuType::Add)], 1020u);
+}
+
 TEST(Simulator, EnergyAccountingConsistent)
 {
     const ChipConfig cfg = ChipConfig::craterLake();
