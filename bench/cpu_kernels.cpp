@@ -8,16 +8,53 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
 #include "poly/rnspoly.h"
 #include "rns/baseconv.h"
 #include "rns/ntt.h"
 #include "rns/primes.h"
+#include "rns/simd/kernels.h"
 #include "util/prng.h"
 #include "util/threadpool.h"
 
 namespace {
 
 using namespace cl;
+
+/** Selects the backend named by the benchmark arg for the duration of
+ *  one benchmark run, restoring the previous backend on exit. */
+class BackendArg
+{
+  public:
+    explicit BackendArg(benchmark::State &state, int arg_index = 0)
+        : prev_(activeSimdBackend()),
+          backend_(static_cast<SimdBackend>(state.range(arg_index)))
+    {
+        ok_ = setSimdBackend(backend_);
+        if (!ok_)
+            state.SkipWithError("backend unavailable on this host");
+        else
+            state.SetLabel(simdBackendName(backend_));
+    }
+    ~BackendArg() { setSimdBackend(prev_); }
+
+    bool ok() const { return ok_; }
+    SimdBackend backend() const { return backend_; }
+
+  private:
+    SimdBackend prev_;
+    SimdBackend backend_;
+    bool ok_;
+};
+
+constexpr int kScalar = static_cast<int>(SimdBackend::Scalar);
+constexpr int kAvx2 = static_cast<int>(SimdBackend::Avx2);
+constexpr int kAvx512 = static_cast<int>(SimdBackend::Avx512);
 
 void
 BM_ModMul(benchmark::State &state)
@@ -60,6 +97,130 @@ BM_ShoupMac(benchmark::State &state)
 BENCHMARK(BM_ShoupMac);
 
 void
+BM_AddModVec(benchmark::State &state)
+{
+    BackendArg backend(state);
+    if (!backend.ok())
+        return;
+    const std::size_t n = 1 << 14;
+    const u64 q = generateNttPrimes(28, n, 1)[0];
+    std::vector<u64> a(n), b(n);
+    FastRng rng(11);
+    for (std::size_t i = 0; i < n; ++i) {
+        a[i] = rng.nextBelow(q);
+        b[i] = rng.nextBelow(q);
+    }
+    for (auto _ : state) {
+        kernels().addModVec(a.data(), b.data(), n, q);
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AddModVec)->Arg(kScalar)->Arg(kAvx2)->Arg(kAvx512);
+
+void
+BM_MulModVec(benchmark::State &state)
+{
+    // BM_ModMul through the kernel table: elementwise canonical
+    // multiply at the 28-bit datapath width.
+    BackendArg backend(state);
+    if (!backend.ok())
+        return;
+    const std::size_t n = 1 << 14;
+    const u64 q = generateNttPrimes(28, n, 1)[0];
+    std::vector<u64> a(n), b(n);
+    FastRng rng(12);
+    for (std::size_t i = 0; i < n; ++i) {
+        a[i] = rng.nextBelow(q);
+        b[i] = rng.nextBelow(q);
+    }
+    for (auto _ : state) {
+        kernels().mulModVec(a.data(), b.data(), n, q);
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MulModVec)->Arg(kScalar)->Arg(kAvx2)->Arg(kAvx512);
+
+void
+BM_MulModShoupVec(benchmark::State &state)
+{
+    BackendArg backend(state);
+    if (!backend.ok())
+        return;
+    const std::size_t n = 1 << 14;
+    const u64 q = generateNttPrimes(28, n, 1)[0];
+    std::vector<u64> x(n), y(n);
+    FastRng rng(13);
+    for (auto &v : x)
+        v = rng.nextBelow(q);
+    const ShoupMul w(987654321 % q, q);
+    for (auto _ : state) {
+        kernels().mulModShoupVec(y.data(), x.data(), n, w.w, w.wPrec, q);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MulModShoupVec)->Arg(kScalar)->Arg(kAvx2)->Arg(kAvx512);
+
+void
+BM_BaseConvMac(benchmark::State &state)
+{
+    // The changeRNSBase inner product alone (one destination tower,
+    // 8 narrow source towers), isolating the fused MAC kernel.
+    BackendArg backend(state);
+    if (!backend.ok())
+        return;
+    const std::size_t n = 1 << 14;
+    const std::size_t ls = 8;
+    auto primes = generateNttPrimes(28, n, ls + 1);
+    const u64 q = primes[ls];
+    const u64 x_bound = *std::max_element(primes.begin(),
+                                          primes.begin() + ls);
+    std::vector<std::vector<u64>> x(ls);
+    std::vector<const u64 *> xs(ls);
+    std::vector<u64> cs(ls), y(n);
+    FastRng rng(14);
+    for (std::size_t i = 0; i < ls; ++i) {
+        x[i].resize(n);
+        for (auto &v : x[i])
+            v = rng.nextBelow(primes[i]);
+        xs[i] = x[i].data();
+        cs[i] = rng.nextBelow(q);
+    }
+    for (auto _ : state) {
+        kernels().baseconvMacVec(y.data(), xs.data(), cs.data(), ls, n,
+                                 q, x_bound);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * ls); // MACs
+}
+BENCHMARK(BM_BaseConvMac)->Arg(kScalar)->Arg(kAvx2)->Arg(kAvx512);
+
+void
+BM_AutomorphismGather(benchmark::State &state)
+{
+    BackendArg backend(state);
+    if (!backend.ok())
+        return;
+    const std::size_t n = 1 << 14;
+    std::vector<u64> src(n), dst(n);
+    std::vector<std::uint32_t> idx(n);
+    FastRng rng(15);
+    for (auto &v : src)
+        v = rng.next64();
+    std::iota(idx.begin(), idx.end(), 0u);
+    for (std::size_t i = n; i > 1; --i)
+        std::swap(idx[i - 1], idx[rng.nextBelow(i)]);
+    for (auto _ : state) {
+        kernels().gatherVec(dst.data(), src.data(), idx.data(), n);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_AutomorphismGather)->Arg(kScalar)->Arg(kAvx2)->Arg(kAvx512);
+
+void
 BM_Ntt(benchmark::State &state)
 {
     const std::size_t n = std::size_t{1} << state.range(0);
@@ -100,9 +261,14 @@ void
 BM_NttBatch(benchmark::State &state)
 {
     // The tier-1 hot loop: forward NTT over a full RNS polynomial
-    // (16 towers of N=2^16), swept across worker counts. Towers are
-    // independent across moduli, so this is the tower-parallelism the
-    // execution layer (and CraterLake's lanes) exploit.
+    // (16 towers of N=2^16), swept across worker counts and kernel
+    // backends. Towers are independent across moduli, so this is the
+    // tower-parallelism the execution layer (and CraterLake's lanes)
+    // exploit; backends multiply it by lane-parallelism within a
+    // tower.
+    BackendArg backend(state, 1);
+    if (!backend.ok())
+        return;
     const unsigned nthreads = static_cast<unsigned>(state.range(0));
     const std::size_t n = std::size_t{1} << 16;
     const std::size_t towers = 16;
@@ -132,7 +298,12 @@ BM_NttBatch(benchmark::State &state)
     state.counters["workers"] = nthreads;
     ThreadPool::setGlobalThreads(1);
 }
-BENCHMARK(BM_NttBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+BENCHMARK(BM_NttBatch)
+    ->Args({1, kScalar})->Args({2, kScalar})->Args({4, kScalar})
+    ->Args({8, kScalar})
+    ->Args({1, kAvx2})->Args({2, kAvx2})->Args({4, kAvx2})
+    ->Args({8, kAvx2})
+    ->Args({1, kAvx512})->Args({8, kAvx512})
     ->Unit(benchmark::kMillisecond);
 
 void
@@ -231,4 +402,69 @@ BENCHMARK(BM_KeccakF1600);
 
 } // namespace
 
-BENCHMARK_MAIN();
+#ifndef CL_BENCH_BUILD_TYPE
+#define CL_BENCH_BUILD_TYPE "unknown"
+#endif
+
+/**
+ * Custom main: refuse to write checked-in benchmark tables
+ * (BENCH_*.json) from a non-Release build. Debug/RelWithDebInfo
+ * numbers silently poison before/after comparisons; `--force`
+ * overrides for local experiments. The build type and active kernel
+ * backend are stamped into the JSON context either way.
+ */
+int
+main(int argc, char **argv)
+{
+    bool force = false;
+    std::string out_path;
+    std::vector<char *> args;
+    args.reserve(static_cast<std::size_t>(argc) + 1);
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--force") == 0) {
+            force = true;
+            continue;
+        }
+        constexpr const char kOut[] = "--benchmark_out=";
+        if (std::strncmp(argv[i], kOut, sizeof(kOut) - 1) == 0)
+            out_path = argv[i] + sizeof(kOut) - 1;
+        args.push_back(argv[i]);
+    }
+    args.push_back(nullptr);
+
+    const auto slash = out_path.find_last_of('/');
+    const std::string base =
+        slash == std::string::npos ? out_path : out_path.substr(slash + 1);
+    const bool is_bench_table =
+        base.rfind("BENCH_", 0) == 0 && base.size() > 5 &&
+        base.compare(base.size() - 5, 5, ".json") == 0;
+    const bool release = std::strcmp(CL_BENCH_BUILD_TYPE, "Release") == 0;
+    if (is_bench_table && !release) {
+        if (!force) {
+            std::fprintf(stderr,
+                         "cpu_kernels: refusing to write %s from a %s "
+                         "build; checked-in BENCH_*.json tables must "
+                         "come from -DCMAKE_BUILD_TYPE=Release "
+                         "(pass --force to override)\n",
+                         base.c_str(), CL_BENCH_BUILD_TYPE);
+            return 1;
+        }
+        std::fprintf(stderr,
+                     "cpu_kernels: WARNING: writing %s from a %s build "
+                     "(--force)\n",
+                     base.c_str(), CL_BENCH_BUILD_TYPE);
+    }
+
+    benchmark::AddCustomContext("cl_build_type", CL_BENCH_BUILD_TYPE);
+    benchmark::AddCustomContext(
+        "cl_simd_default",
+        cl::simdBackendName(cl::activeSimdBackend()));
+
+    int bench_argc = static_cast<int>(args.size()) - 1;
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "rns/simd/kernels.h"
 #include "util/threadpool.h"
 
 namespace cl {
@@ -219,11 +220,10 @@ Evaluator::keySwitch(const RnsPoly &d, const SwitchKey &ksk) const
             for (unsigned i : special_idx)
                 p_mod_q = mulMod(p_mod_q, ctx_.chain().modulus(i) % q, q);
             const ShoupMul p_inv(invMod(p_mod_q, q), q);
-            const u64 *hi = acc.residue(t).data();
-            const u64 *lo = conv_out[t].data();
-            u64 *dst = out.residue(t).data();
-            for (std::size_t i = 0; i < ctx_.n(); ++i)
-                dst[i] = p_inv.mul(subMod(hi[i], lo[i], q), q);
+            kernels().subMulShoupVec(out.residue(t).data(),
+                                     acc.residue(t).data(),
+                                     conv_out[t].data(), ctx_.n(),
+                                     p_inv.w, p_inv.wPrec, q);
         });
         acc = std::move(out);
     };

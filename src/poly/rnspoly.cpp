@@ -1,5 +1,6 @@
 #include "rnspoly.h"
 
+#include "rns/simd/kernels.h"
 #include "util/threadpool.h"
 
 namespace cl {
@@ -67,13 +68,14 @@ RnsPoly &
 RnsPoly::operator+=(const RnsPoly &other)
 {
     checkCompatible(other);
-    parallelFor(0, towers(), [&](std::size_t t) {
-        const u64 q = modulus(t);
-        u64 *a = data_.data() + t * n_;
-        const u64 *b = other.data_.data() + t * n_;
-        for (std::size_t i = 0; i < n_; ++i)
-            a[i] = addMod(a[i], b[i], q);
-    });
+    const KernelTable &K = kernels();
+    parallelFor(
+        0, towers(),
+        [&](std::size_t t) {
+            K.addModVec(data_.data() + t * n_,
+                        other.data_.data() + t * n_, n_, modulus(t));
+        },
+        parallelGrain(n_));
     return *this;
 }
 
@@ -81,13 +83,14 @@ RnsPoly &
 RnsPoly::operator-=(const RnsPoly &other)
 {
     checkCompatible(other);
-    parallelFor(0, towers(), [&](std::size_t t) {
-        const u64 q = modulus(t);
-        u64 *a = data_.data() + t * n_;
-        const u64 *b = other.data_.data() + t * n_;
-        for (std::size_t i = 0; i < n_; ++i)
-            a[i] = subMod(a[i], b[i], q);
-    });
+    const KernelTable &K = kernels();
+    parallelFor(
+        0, towers(),
+        [&](std::size_t t) {
+            K.subModVec(data_.data() + t * n_,
+                        other.data_.data() + t * n_, n_, modulus(t));
+        },
+        parallelGrain(n_));
     return *this;
 }
 
@@ -96,32 +99,35 @@ RnsPoly::operator*=(const RnsPoly &other)
 {
     checkCompatible(other);
     CL_ASSERT(ntt_, "element-wise multiply requires NTT form");
-    parallelFor(0, towers(), [&](std::size_t t) {
-        const u64 q = modulus(t);
-        u64 *a = data_.data() + t * n_;
-        const u64 *b = other.data_.data() + t * n_;
-        for (std::size_t i = 0; i < n_; ++i)
-            a[i] = mulMod(a[i], b[i], q);
-    });
+    const KernelTable &K = kernels();
+    parallelFor(
+        0, towers(),
+        [&](std::size_t t) {
+            K.mulModVec(data_.data() + t * n_,
+                        other.data_.data() + t * n_, n_, modulus(t));
+        },
+        parallelGrain(n_));
     return *this;
 }
 
 void
 RnsPoly::negate()
 {
-    parallelFor(0, towers(), [&](std::size_t t) {
-        const u64 q = modulus(t);
-        u64 *a = data_.data() + t * n_;
-        for (std::size_t i = 0; i < n_; ++i)
-            a[i] = a[i] == 0 ? 0 : q - a[i];
-    });
+    const KernelTable &K = kernels();
+    parallelFor(
+        0, towers(),
+        [&](std::size_t t) {
+            K.negateVec(data_.data() + t * n_, n_, modulus(t));
+        },
+        parallelGrain(n_));
 }
 
 void
 RnsPoly::mulScalar(u64 s)
 {
-    parallelFor(0, towers(),
-                [&](std::size_t t) { mulScalarTower(t, s); });
+    parallelFor(
+        0, towers(), [&](std::size_t t) { mulScalarTower(t, s); },
+        parallelGrain(n_));
 }
 
 void
@@ -130,8 +136,7 @@ RnsPoly::mulScalarTower(std::size_t t, u64 s)
     const u64 q = modulus(t);
     const ShoupMul m(s % q, q);
     u64 *a = data_.data() + t * n_;
-    for (std::size_t i = 0; i < n_; ++i)
-        a[i] = m.mul(a[i], q);
+    kernels().mulModShoupVec(a, a, n_, m.w, m.wPrec, q);
 }
 
 RnsPoly
@@ -139,14 +144,17 @@ RnsPoly::automorphism(std::size_t k) const
 {
     RnsPoly out(Uninit{}, *chain_, modIdx_, ntt_);
     const AutomorphismMap &map = chain_->automorphism(k);
-    parallelFor(0, towers(), [&](std::size_t t) {
-        const u64 *src = data_.data() + t * n_;
-        u64 *dst = out.data_.data() + t * n_;
-        if (ntt_)
-            map.applyNtt(src, dst);
-        else
-            map.applyCoeff(src, dst, modulus(t));
-    });
+    parallelFor(
+        0, towers(),
+        [&](std::size_t t) {
+            const u64 *src = data_.data() + t * n_;
+            u64 *dst = out.data_.data() + t * n_;
+            if (ntt_)
+                map.applyNtt(src, dst);
+            else
+                map.applyCoeff(src, dst, modulus(t));
+        },
+        parallelGrain(n_));
     return out;
 }
 
@@ -162,19 +170,22 @@ RnsPoly::rescaleLastTower()
     const u64 *xl = data_.data() + last * n_;
     const u64 half = ql / 2;
 
-    parallelFor(0, last, [&](std::size_t t) {
-        const u64 qt = modulus(t);
-        const ShoupMul ql_inv(invMod(ql % qt, qt), qt);
-        u64 *a = data_.data() + t * n_;
-        for (std::size_t i = 0; i < n_; ++i) {
-            // Rounded division: subtract the centered last residue,
-            // then divide by q_last. Adding half before centering
-            // implements round-to-nearest.
-            const u64 xl_shift = addMod(xl[i], half, ql);
-            const u64 xl_mod_qt = subMod(xl_shift % qt, half % qt, qt);
-            a[i] = ql_inv.mul(subMod(a[i], xl_mod_qt, qt), qt);
-        }
-    });
+    parallelFor(
+        0, last,
+        [&](std::size_t t) {
+            const u64 qt = modulus(t);
+            const ShoupMul ql_inv(invMod(ql % qt, qt), qt);
+            u64 *a = data_.data() + t * n_;
+            for (std::size_t i = 0; i < n_; ++i) {
+                // Rounded division: subtract the centered last residue,
+                // then divide by q_last. Adding half before centering
+                // implements round-to-nearest.
+                const u64 xl_shift = addMod(xl[i], half, ql);
+                const u64 xl_mod_qt = subMod(xl_shift % qt, half % qt, qt);
+                a[i] = ql_inv.mul(subMod(a[i], xl_mod_qt, qt), qt);
+            }
+        },
+        parallelGrain(n_));
     data_.resize(last * n_);
     modIdx_.pop_back();
     if (was_ntt)

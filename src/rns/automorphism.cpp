@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "rns/simd/kernels.h"
+
 namespace cl {
 
 std::vector<std::uint32_t>
@@ -84,8 +86,7 @@ AutomorphismMap::applyCoeff(const u64 *in, u64 *out, u64 q) const
 void
 AutomorphismMap::applyNtt(const u64 *in, u64 *out) const
 {
-    for (std::size_t j = 0; j < n_; ++j)
-        out[j] = in[nttSrc_[j]];
+    kernels().gatherVec(out, in, nttSrc_.data(), n_);
 }
 
 } // namespace cl

@@ -1,5 +1,8 @@
 #include "baseconv.h"
 
+#include <algorithm>
+
+#include "rns/simd/kernels.h"
 #include "util/threadpool.h"
 
 namespace cl {
@@ -42,6 +45,16 @@ BaseConverter::BaseConverter(const RnsChain &chain,
             qHat_[i][j] = prod;
         }
     }
+
+    // Transposed rows: the MAC kernel walks all source coefficients
+    // for one destination tower, so give it a contiguous cs[] row.
+    qHatT_.assign(ld, std::vector<u64>(ls));
+    for (std::size_t j = 0; j < ld; ++j)
+        for (std::size_t i = 0; i < ls; ++i)
+            qHatT_[j][i] = qHat_[i][j];
+
+    for (std::size_t i = 0; i < ls; ++i)
+        srcMax_ = std::max(srcMax_, chain_.modulus(src_[i]));
 }
 
 void
@@ -71,49 +84,39 @@ BaseConverter::convertKeepScaled(const std::vector<ResidueView> &in,
     CL_ASSERT(in.size() == ls, "base conversion: got ", in.size(),
               " source residues, expected ", ls);
 
+    const KernelTable &K = kernels();
+
     // Step 1: x'_i = x_i * (Q/q_i)^{-1} mod q_i, one worker per
     // source tower.
     scaled.assign(ls, std::vector<u64>(n));
-    parallelFor(0, ls, [&](std::size_t i) {
-        const u64 qi = chain_.modulus(src_[i]);
-        const ShoupMul &s = qHatInv_[i];
-        const u64 *x = in[i].data();
-        u64 *y = scaled[i].data();
-        for (std::size_t c = 0; c < n; ++c)
-            y[c] = s.mul(x[c], qi);
-    });
+    parallelFor(
+        0, ls,
+        [&](std::size_t i) {
+            const u64 qi = chain_.modulus(src_[i]);
+            const ShoupMul &s = qHatInv_[i];
+            K.mulModShoupVec(scaled[i].data(), in[i].data(), n, s.w,
+                             s.wPrec, qi);
+        },
+        parallelGrain(n));
 
     // Step 2: the Listing-1 MAC loop; this is what the CRB unit
     // spatially unrolls, and each destination tower is independent so
-    // the loop fans out per tower. Accumulate in 128 bits and reduce
-    // once per destination coefficient (the hardware keeps running
-    // sums in the CRB residue-poly buffers).
+    // the loop fans out per tower. The kernel accumulates the whole
+    // sum_i xs[i][k] * cs[i] inner product per coefficient (the
+    // hardware keeps running sums in the CRB residue-poly buffers).
+    std::vector<const u64 *> xs(ls);
+    for (std::size_t i = 0; i < ls; ++i)
+        xs[i] = scaled[i].data();
+
     out.assign(ld, std::vector<u64>(n));
-    parallelFor(0, ld, [&](std::size_t j) {
-        const u64 pj = chain_.modulus(dst_[j]);
-        // The 128-bit accumulator holds at most reduce_every products
-        // of two values < pj before a reduction is forced, so it can
-        // never wrap even for 62-bit moduli.
-        const unsigned pj_bits = 64 - __builtin_clzll(pj);
-        const std::size_t reduce_every =
-            pj_bits >= 60 ? 8 : (std::size_t{1} << (126 - 2 * pj_bits));
-        std::vector<u128> acc(n, 0);
-        std::size_t since_reduce = 0;
-        for (std::size_t i = 0; i < ls; ++i) {
-            const u64 c = qHat_[i][j];
-            const u64 *x = scaled[i].data();
-            for (std::size_t k = 0; k < n; ++k)
-                acc[k] += (u128)(x[k] % pj) * c;
-            if (++since_reduce >= reduce_every && i + 1 < ls) {
-                for (std::size_t k = 0; k < n; ++k)
-                    acc[k] %= pj;
-                since_reduce = 0;
-            }
-        }
-        u64 *y = out[j].data();
-        for (std::size_t k = 0; k < n; ++k)
-            y[k] = static_cast<u64>(acc[k] % pj);
-    });
+    parallelFor(
+        0, ld,
+        [&](std::size_t j) {
+            const u64 pj = chain_.modulus(dst_[j]);
+            K.baseconvMacVec(out[j].data(), xs.data(), qHatT_[j].data(),
+                             ls, n, pj, srcMax_);
+        },
+        parallelGrain(ls * n));
 }
 
 } // namespace cl

@@ -82,6 +82,9 @@ class BaseConverter
     std::vector<unsigned> dst_;
     std::vector<ShoupMul> qHatInv_;       // per src, mod q_src
     std::vector<std::vector<u64>> qHat_;  // [src][dst]: Q/q_src mod p_dst
+    std::vector<std::vector<u64>> qHatT_; // [dst][src]: transposed rows
+                                          // for the MAC kernel
+    u64 srcMax_ = 0; // exclusive bound on source residues (largest q_i)
 };
 
 } // namespace cl

@@ -1,8 +1,20 @@
 #include "ntt.h"
 
 #include "rns/primes.h"
+#include "rns/simd/kernels.h"
 
 namespace cl {
+
+namespace {
+
+/** Butterfly blocks shorter than this stay on the inline scalar loop:
+ *  a function-pointer call per block only pays off once the block
+ *  amortizes it over a vector's worth of lanes. The last log2(8)
+ *  stages of an N-point transform run inline; they hold a small,
+ *  fixed fraction of the work. */
+constexpr std::size_t kNttVecMinBlock = 8;
+
+} // namespace
 
 NttTables::NttTables(std::size_t n, u64 q) : n_(n), q_(q)
 {
@@ -35,7 +47,11 @@ NttTables::forward(u64 *a) const
     // subtract), and a single correction pass at the end restores
     // [0, q). Same dataflow the hardware NTT FUs pipeline; the lazy
     // window is the software analogue of their redundant-digit
-    // arithmetic.
+    // arithmetic. Long butterfly blocks go through the SIMD kernel
+    // table; every backend computes the identical lazy formula, so
+    // the intermediate representatives — not just the final values —
+    // are bit-identical across backends.
+    const KernelTable &K = kernels();
     const u64 q = q_;
     const u64 two_q = 2 * q;
     std::size_t t = n_;
@@ -44,6 +60,11 @@ NttTables::forward(u64 *a) const
         for (std::size_t i = 0; i < m; ++i) {
             const std::size_t j1 = 2 * i * t;
             const ShoupMul &w = fwdTwiddles_[m + i];
+            if (t >= kNttVecMinBlock) {
+                K.nttFwdButterflyVec(a + j1, a + j1 + t, t, w.w, w.wPrec,
+                                     q);
+                continue;
+            }
             for (std::size_t j = j1; j < j1 + t; ++j) {
                 u64 x = a[j]; // [0, 4q)
                 x -= two_q * (x >= two_q); // -> [0, 2q), branchless
@@ -53,12 +74,7 @@ NttTables::forward(u64 *a) const
             }
         }
     }
-    for (std::size_t i = 0; i < n_; ++i) {
-        u64 x = a[i];
-        x -= two_q * (x >= two_q);
-        x -= q * (x >= q);
-        a[i] = x;
-    }
+    K.nttCorrectVec(a, n_, q);
 }
 
 void
@@ -66,6 +82,7 @@ NttTables::inverse(u64 *a) const
 {
     // Gentleman-Sande with operands lazily held in [0, 2q); the final
     // N^-1 scaling pass performs the full reduction to [0, q).
+    const KernelTable &K = kernels();
     const u64 q = q_;
     const u64 two_q = 2 * q;
     std::size_t t = 1;
@@ -74,6 +91,12 @@ NttTables::inverse(u64 *a) const
         std::size_t j1 = 0;
         for (std::size_t i = 0; i < h; ++i) {
             const ShoupMul &w = invTwiddles_[h + i];
+            if (t >= kNttVecMinBlock) {
+                K.nttInvButterflyVec(a + j1, a + j1 + t, t, w.w, w.wPrec,
+                                     q);
+                j1 += 2 * t;
+                continue;
+            }
             for (std::size_t j = j1; j < j1 + t; ++j) {
                 const u64 x = a[j];     // [0, 2q)
                 const u64 y = a[j + t]; // [0, 2q)
@@ -86,10 +109,7 @@ NttTables::inverse(u64 *a) const
         }
         t <<= 1;
     }
-    for (std::size_t i = 0; i < n_; ++i) {
-        const u64 r = nInv_.mulLazy(a[i], q);
-        a[i] = r >= q ? r - q : r;
-    }
+    K.nttScaleInvVec(a, n_, nInv_.w, nInv_.wPrec, q);
 }
 
 } // namespace cl

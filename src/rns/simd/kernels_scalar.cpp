@@ -1,0 +1,32 @@
+/** Scalar backend: the reference loops, verbatim. */
+
+#include "rns/simd/kernels.h"
+#include "rns/simd/ref_impl.h"
+
+namespace cl {
+namespace simd {
+
+const KernelTable *
+scalarTable()
+{
+    static const KernelTable table = {
+        SimdBackend::Scalar,
+        "scalar",
+        &ref::addModVec,
+        &ref::subModVec,
+        &ref::mulModVec,
+        &ref::negateVec,
+        &ref::mulModShoupVec,
+        &ref::subMulShoupVec,
+        &ref::baseconvMacVec,
+        &ref::gatherVec,
+        &ref::nttFwdButterflyVec,
+        &ref::nttInvButterflyVec,
+        &ref::nttCorrectVec,
+        &ref::nttScaleInvVec,
+    };
+    return &table;
+}
+
+} // namespace simd
+} // namespace cl

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Scalar reference implementations of every kernel in the dispatch
+ * table — exactly the loops the library ran before the SIMD backend
+ * existed. The scalar table points straight at these; the vector
+ * backends call them for wide moduli and loop tails, which is what
+ * makes the bit-identity argument trivial off the narrow fast path.
+ *
+ * Internal header: only the backend translation units include it.
+ */
+
+#ifndef CL_RNS_SIMD_REF_IMPL_H
+#define CL_RNS_SIMD_REF_IMPL_H
+
+#include <vector>
+
+#include "rns/modarith.h"
+
+namespace cl {
+namespace simd {
+namespace ref {
+
+inline void
+addModVec(u64 *a, const u64 *b, std::size_t n, u64 q)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        a[i] = addMod(a[i], b[i], q);
+}
+
+inline void
+subModVec(u64 *a, const u64 *b, std::size_t n, u64 q)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        a[i] = subMod(a[i], b[i], q);
+}
+
+inline void
+mulModVec(u64 *a, const u64 *b, std::size_t n, u64 q)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        a[i] = mulMod(a[i], b[i], q);
+}
+
+inline void
+negateVec(u64 *a, std::size_t n, u64 q)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        a[i] = a[i] == 0 ? 0 : q - a[i];
+}
+
+inline void
+mulModShoupVec(u64 *y, const u64 *x, std::size_t n, u64 w, u64 wPrec,
+               u64 q)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const u64 hi = static_cast<u64>(((u128)x[i] * wPrec) >> 64);
+        const u64 r = x[i] * w - hi * q; // mod 2^64; in [0, 2q)
+        y[i] = r >= q ? r - q : r;
+    }
+}
+
+inline void
+subMulShoupVec(u64 *dst, const u64 *hi, const u64 *lo, std::size_t n,
+               u64 w, u64 wPrec, u64 q)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const u64 d = subMod(hi[i], lo[i], q);
+        const u64 h = static_cast<u64>(((u128)d * wPrec) >> 64);
+        const u64 r = d * w - h * q;
+        dst[i] = r >= q ? r - q : r;
+    }
+}
+
+inline void
+baseconvMacVec(u64 *y, const u64 *const *xs, const u64 *cs,
+               std::size_t ls, std::size_t n, u64 q, u64 /*x_bound*/)
+{
+    // The 128-bit accumulator holds at most reduce_every products of
+    // two values < q before a reduction is forced, so it can never
+    // wrap even for 62-bit moduli. Narrow moduli (q_bits <= 31) allow
+    // 2^64 or more products — more than any term count — so the
+    // mid-loop reduction never fires; the shift must be clamped there
+    // (shifting by >= 64 is undefined, a latent bug in the pre-SIMD
+    // version of this loop for sub-32-bit destination moduli).
+    const unsigned q_bits = 64 - __builtin_clzll(q);
+    const std::size_t reduce_every =
+        q_bits >= 60   ? 8
+        : q_bits <= 31 ? ~std::size_t{0}
+                       : std::size_t{1} << (126 - 2 * q_bits);
+    std::vector<u128> acc(n, 0);
+    std::size_t since_reduce = 0;
+    for (std::size_t i = 0; i < ls; ++i) {
+        const u64 c = cs[i];
+        const u64 *x = xs[i];
+        for (std::size_t k = 0; k < n; ++k)
+            acc[k] += (u128)(x[k] % q) * c;
+        if (++since_reduce >= reduce_every && i + 1 < ls) {
+            for (std::size_t k = 0; k < n; ++k)
+                acc[k] %= q;
+            since_reduce = 0;
+        }
+    }
+    for (std::size_t k = 0; k < n; ++k)
+        y[k] = static_cast<u64>(acc[k] % q);
+}
+
+inline void
+gatherVec(u64 *dst, const u64 *src, const std::uint32_t *idx,
+          std::size_t n)
+{
+    for (std::size_t j = 0; j < n; ++j)
+        dst[j] = src[idx[j]];
+}
+
+inline void
+nttFwdButterflyVec(u64 *x, u64 *y, std::size_t t, u64 w, u64 wPrec,
+                   u64 q)
+{
+    const u64 two_q = 2 * q;
+    for (std::size_t j = 0; j < t; ++j) {
+        u64 xx = x[j];                       // [0, 4q)
+        xx -= two_q * (xx >= two_q);         // -> [0, 2q), branchless
+        const u64 hi = static_cast<u64>(((u128)y[j] * wPrec) >> 64);
+        const u64 v = y[j] * w - hi * q;     // mulLazy: [0, 2q)
+        x[j] = xx + v;                       // [0, 4q)
+        y[j] = xx + two_q - v;               // (0, 4q)
+    }
+}
+
+inline void
+nttInvButterflyVec(u64 *x, u64 *y, std::size_t t, u64 w, u64 wPrec,
+                   u64 q)
+{
+    const u64 two_q = 2 * q;
+    for (std::size_t j = 0; j < t; ++j) {
+        const u64 xx = x[j]; // [0, 2q)
+        const u64 yy = y[j]; // [0, 2q)
+        u64 s = xx + yy;     // [0, 4q)
+        s -= two_q * (s >= two_q);
+        x[j] = s; // [0, 2q)
+        const u64 u = xx + two_q - yy; // (0, 4q)
+        const u64 hi = static_cast<u64>(((u128)u * wPrec) >> 64);
+        y[j] = u * w - hi * q; // mulLazy: [0, 2q)
+    }
+}
+
+inline void
+nttCorrectVec(u64 *a, std::size_t n, u64 q)
+{
+    const u64 two_q = 2 * q;
+    for (std::size_t i = 0; i < n; ++i) {
+        u64 x = a[i];
+        x -= two_q * (x >= two_q);
+        x -= q * (x >= q);
+        a[i] = x;
+    }
+}
+
+inline void
+nttScaleInvVec(u64 *a, std::size_t n, u64 w, u64 wPrec, u64 q)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const u64 hi = static_cast<u64>(((u128)a[i] * wPrec) >> 64);
+        const u64 r = a[i] * w - hi * q; // [0, 2q)
+        a[i] = r >= q ? r - q : r;
+    }
+}
+
+} // namespace ref
+} // namespace simd
+} // namespace cl
+
+#endif // CL_RNS_SIMD_REF_IMPL_H

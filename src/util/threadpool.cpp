@@ -1,5 +1,6 @@
 #include "threadpool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdlib>
@@ -110,11 +111,13 @@ ThreadPool::~ThreadPool()
 
 void
 ThreadPool::parallelFor(std::size_t begin, std::size_t end,
-                        const std::function<void(std::size_t)> &fn)
+                        const std::function<void(std::size_t)> &fn,
+                        std::size_t grain)
 {
     if (begin >= end)
         return;
-    if (!impl_ || end - begin == 1 || t_inPoolWork) {
+    if (!impl_ || end - begin <= std::max<std::size_t>(grain, 1) ||
+        t_inPoolWork) {
         for (std::size_t i = begin; i < end; ++i)
             fn(i);
         return;
@@ -162,9 +165,10 @@ ThreadPool::setGlobalThreads(unsigned nthreads)
 
 void
 parallelFor(std::size_t begin, std::size_t end,
-            const std::function<void(std::size_t)> &fn)
+            const std::function<void(std::size_t)> &fn,
+            std::size_t grain)
 {
-    ThreadPool::global().parallelFor(begin, end, fn);
+    ThreadPool::global().parallelFor(begin, end, fn, grain);
 }
 
 } // namespace cl

@@ -46,11 +46,17 @@ class ThreadPool
     /**
      * Invoke fn(i) exactly once for every i in [begin, end), blocking
      * until all indices complete. Falls back to a plain serial loop
-     * when the pool is size 1, the range has a single index, or the
-     * caller is itself a pool worker (nested use).
+     * when the pool is size 1, the caller is itself a pool worker
+     * (nested use), or the trip count is at most @p grain — short
+     * ranges run inline on the caller with no enqueue, no wakeup, and
+     * no synchronization, so callers whose per-index work is tiny
+     * (e.g. one short SIMD-accelerated tower) don't pay pool overhead.
+     * Inline and fanned-out execution are bit-identical by
+     * construction.
      */
     void parallelFor(std::size_t begin, std::size_t end,
-                     const std::function<void(std::size_t)> &fn);
+                     const std::function<void(std::size_t)> &fn,
+                     std::size_t grain = 1);
 
     /**
      * Process-wide pool, created on first use. Size: the CL_THREADS
@@ -70,7 +76,29 @@ class ThreadPool
 
 /** Shorthand for ThreadPool::global().parallelFor(...). */
 void parallelFor(std::size_t begin, std::size_t end,
-                 const std::function<void(std::size_t)> &fn);
+                 const std::function<void(std::size_t)> &fn,
+                 std::size_t grain = 1);
+
+/** One "grain" of work: ranges whose total footprint is below this
+ *  many words run inline rather than waking the pool. */
+constexpr std::size_t kParallelGrainWords = std::size_t{1} << 14;
+
+/**
+ * Trip-count grain for a kernel touching ~@p words_per_index memory
+ * words per index: parallelFor(..., parallelGrain(n)) runs inline
+ * unless the range holds more than one grain of total work. Heavy
+ * per-index kernels (a whole residue polynomial at production N) get
+ * grain 1 — identical to the pre-grain behavior — while short towers
+ * stay on the calling thread.
+ */
+constexpr std::size_t
+parallelGrain(std::size_t words_per_index)
+{
+    return words_per_index >= kParallelGrainWords
+               ? 1
+               : kParallelGrainWords /
+                     (words_per_index == 0 ? 1 : words_per_index);
+}
 
 } // namespace cl
 

@@ -2,6 +2,8 @@
  *  serial fallback, and global-pool reconfiguration. */
 
 #include <atomic>
+#include <cstdint>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -74,6 +76,59 @@ TEST(ThreadPool, ReusableAcrossManyJobs)
         });
         ASSERT_EQ(sum.load(), 97u * 96u / 2);
     }
+}
+
+TEST(ThreadPool, GrainInlinesShortRanges)
+{
+    ThreadPool pool(4);
+    // Trip count at or below the grain: every index must run on the
+    // calling thread, with no pool dispatch.
+    const auto self = std::this_thread::get_id();
+    std::vector<std::thread::id> ran_on(8);
+    pool.parallelFor(
+        0, 8, [&](std::size_t i) { ran_on[i] = std::this_thread::get_id(); },
+        8);
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(ran_on[i], self) << "index " << i;
+
+    // One past the grain: the pool engages again (every index still
+    // runs exactly once; placement is unspecified).
+    std::vector<std::atomic<int>> hits(9);
+    pool.parallelFor(
+        0, 9, [&](std::size_t i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+        },
+        8);
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, GrainDoesNotChangeResults)
+{
+    ThreadPool pool(4);
+    const std::size_t n = 1000;
+    std::vector<std::uint64_t> expect(n);
+    for (std::size_t i = 0; i < n; ++i)
+        expect[i] = i * i + 7;
+    for (std::size_t grain : {std::size_t{0}, std::size_t{1},
+                              std::size_t{64}, n, 2 * n}) {
+        std::vector<std::uint64_t> out(n, 0);
+        pool.parallelFor(
+            0, n, [&](std::size_t i) { out[i] = i * i + 7; }, grain);
+        ASSERT_EQ(out, expect) << "grain " << grain;
+    }
+}
+
+TEST(ParallelGrain, MapsFootprintToTripCount)
+{
+    // Heavy per-index work (>= one grain of words) degenerates to
+    // grain 1 — the pre-grain behavior.
+    EXPECT_EQ(parallelGrain(kParallelGrainWords), 1u);
+    EXPECT_EQ(parallelGrain(kParallelGrainWords * 4), 1u);
+    // Light work inlines until the range holds a full grain.
+    EXPECT_EQ(parallelGrain(kParallelGrainWords / 2), 2u);
+    EXPECT_EQ(parallelGrain(1), kParallelGrainWords);
+    EXPECT_EQ(parallelGrain(0), kParallelGrainWords);
 }
 
 TEST(ThreadPool, GlobalPoolResize)
