@@ -90,8 +90,20 @@ Bootstrapper::Bootstrapper(const CkksContext &ctx,
 
     // --- Keys: relinearization, conjugation, BSGS rotations. ---
     relin_ = keygen.genRelinKey();
-    const unsigned n1 = std::min<unsigned>(params_.babySteps,
-                                           static_cast<unsigned>(n));
+    ltN1_ = params_.ltBabySteps;
+    if (ltN1_ == 0) {
+        // Auto split: 4x wider than the square root. Hoisted baby
+        // rotations are cheap (no digit lift; under HoistedLazy no
+        // mod-down either), so trading giant steps for baby steps
+        // cuts the expensive full keyswitches and deferred mod-downs.
+        unsigned sq = 1;
+        while (static_cast<std::size_t>(sq) * sq < n)
+            sq <<= 1;
+        ltN1_ = std::min<unsigned>(static_cast<unsigned>(n), 4 * sq);
+    }
+    CL_ASSERT(isPowerOfTwo(ltN1_), "ltBabySteps power of two");
+    const unsigned n1 = std::min<unsigned>(ltN1_, static_cast<unsigned>(n));
+    ltN1_ = n1;
     const unsigned n2 =
         static_cast<unsigned>(ceilDiv(n, n1));
     std::vector<int> steps;
@@ -149,48 +161,220 @@ Bootstrapper::mulConst(const Ciphertext &ct, Complex c) const
     return r;
 }
 
-Ciphertext
-Bootstrapper::linearTransform(const Ciphertext &ct, const Matrix &m) const
+std::vector<Complex>
+Bootstrapper::rotatedDiagonal(const Matrix &m, std::size_t d) const
 {
     const std::size_t n = ctx_.slots();
-    const unsigned n1 = std::min<unsigned>(params_.babySteps,
-                                           static_cast<unsigned>(n));
+    const unsigned n1 = ltN1_;
+    // Diagonal d of M, pre-rotated by -g*n1 for the BSGS giant-step
+    // rotation that follows (g = d / n1).
+    const std::size_t rot = (d / n1) * n1 % n;
+    std::vector<Complex> diag(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t jj = (j + n - rot) % n;
+        diag[j] = m[jj][(jj + d) % n];
+    }
+    return diag;
+}
+
+Bootstrapper::DiagCache
+Bootstrapper::buildDiagonals(const Matrix &m, unsigned level,
+                             bool need_ext) const
+{
+    const std::size_t n = ctx_.slots();
+    const double p_scale =
+        static_cast<double>(ctx_.chain().modulus(level - 1));
+    DiagCache dc;
+    dc.nonzero.assign(n, 0);
+    dc.ptData.resize(n);
+    if (need_ext)
+        dc.ptExt.resize(n);
+    dc.hasExt = need_ext;
+
+    // Extended basis Q_level ∪ P, matching Evaluator::decompose for
+    // the context-default digit size every hint here is built with.
+    std::vector<unsigned> ext_idx;
+    if (need_ext) {
+        ext_idx = ctx_.dataIdx(level);
+        for (unsigned i : ctx_.specialIdx())
+            ext_idx.push_back(i);
+    }
+
+    for (std::size_t d = 0; d < n; ++d) {
+        const std::vector<Complex> diag = rotatedDiagonal(m, d);
+        bool nonzero = false;
+        for (const Complex &c : diag)
+            nonzero |= std::abs(c) > 1e-14;
+        if (!nonzero)
+            continue;
+        dc.nonzero[d] = 1;
+        RnsPoly pt = encoder_.encode(diag, p_scale, level);
+        pt.toNtt();
+        ctx_.ops().ntts += pt.towers();
+        dc.ptData[d] = std::move(pt);
+        if (need_ext) {
+            RnsPoly pe = encoder_.encode(diag, p_scale, ext_idx);
+            pe.toNtt();
+            ctx_.ops().ntts += pe.towers();
+            dc.ptExt[d] = std::move(pe);
+        }
+    }
+    return dc;
+}
+
+const Bootstrapper::DiagCache &
+Bootstrapper::diagonals(const Matrix &m, int which, unsigned level,
+                        bool need_ext) const
+{
+    const auto key = std::make_pair(which, level);
+    auto it = diagCache_.find(key);
+    if (it == diagCache_.end() || (need_ext && !it->second.hasExt)) {
+        it = diagCache_
+                 .insert_or_assign(key, buildDiagonals(m, level, need_ext))
+                 .first;
+    }
+    return it->second;
+}
+
+Ciphertext
+Bootstrapper::linearTransform(const Ciphertext &ct, const Matrix &m,
+                              int which, LinearTransformMode mode) const
+{
+    const std::size_t n = ctx_.slots();
+    const unsigned n1 = ltN1_;
     const unsigned n2 = static_cast<unsigned>(ceilDiv(n, n1));
     const unsigned level = ct.level();
     const double p_scale =
         static_cast<double>(ct.c0.modulus(level - 1));
+    const bool lazy = mode == LinearTransformMode::HoistedLazy;
+    OpCounter &ops = ctx_.ops();
 
-    // Baby rotations of the input.
-    std::vector<Ciphertext> baby(n1);
-    baby[0] = ct;
+    DiagCache local;
+    const DiagCache *dc;
+    if (params_.cacheDiagonals) {
+        dc = &diagonals(m, which, level, lazy);
+    } else {
+        local = buildDiagonals(m, level, lazy);
+        dc = &local;
+    }
+
+    // Which baby offsets carry at least one nonzero diagonal.
+    std::vector<char> baby_used(n1, 0);
+    for (std::size_t d = 0; d < n; ++d) {
+        if (dc->nonzero[d])
+            baby_used[d % n1] = 1;
+    }
+    bool any_rotated_baby = false;
     for (unsigned b = 1; b < n1; ++b)
-        baby[b] = eval_.rotate(ct, static_cast<int>(b), galois_);
+        any_rotated_baby |= baby_used[b];
+
+    // Hoisted modes: lift the digits of c1 once; every baby rotation
+    // reuses them. All hints share the context-default digit size.
+    KeySwitchDigits digits;
+    if (mode != LinearTransformMode::Naive && any_rotated_baby) {
+        const unsigned alpha_ks = galois_.keys.begin()->second.alphaKs;
+        digits = eval_.decompose(ct.c1, alpha_ks);
+    }
+
+    // Per-baby precomputation. Naive/HoistedEager materialize rotated
+    // ciphertexts; HoistedLazy keeps the keyswitch inner products in
+    // the extended basis (k0/k1, still carrying the P factor) plus the
+    // exact rotated c0, deferring every mod-down to the giant steps.
+    std::vector<Ciphertext> baby;
+    std::vector<RnsPoly> k0(n1), k1(n1), c0rot(n1);
+    if (!lazy) {
+        baby.resize(n1);
+        baby[0] = ct;
+    }
+    for (unsigned b = 1; b < n1; ++b) {
+        if (!baby_used[b])
+            continue;
+        const std::size_t gal =
+            eval_.galoisFromSteps(static_cast<int>(b));
+        switch (mode) {
+        case LinearTransformMode::Naive:
+            baby[b] = eval_.rotate(ct, static_cast<int>(b), galois_);
+            break;
+        case LinearTransformMode::HoistedEager:
+            baby[b] = eval_.rotateByGaloisHoisted(ct, gal,
+                                                  galois_.at(gal), digits);
+            break;
+        case LinearTransformMode::HoistedLazy: {
+            const KeySwitchDigits rot =
+                eval_.automorphismDigits(digits, gal);
+            auto ip = eval_.innerProduct(rot, galois_.at(gal));
+            k0[b] = std::move(ip.first);
+            k1[b] = std::move(ip.second);
+            c0rot[b] = ct.c0.automorphism(gal);
+            ops.automorphisms += level;
+            break;
+        }
+        }
+    }
 
     Ciphertext acc;
     bool first = true;
     for (unsigned g = 0; g < n2; ++g) {
         Ciphertext inner;
         bool inner_first = true;
-        for (unsigned b = 0; b < n1; ++b) {
-            const std::size_t d = static_cast<std::size_t>(g) * n1 + b;
-            if (d >= n)
-                break;
-            // Diagonal d of M, pre-rotated by -g*n1 for the BSGS
-            // giant-step rotation that follows.
-            std::vector<Complex> diag(n);
-            bool nonzero = false;
-            for (std::size_t j = 0; j < n; ++j) {
-                const std::size_t jj =
-                    (j + n - (static_cast<std::size_t>(g) * n1) % n) % n;
-                diag[j] = m[jj][(jj + d) % n];
-                nonzero |= std::abs(diag[j]) > 1e-14;
+        if (!lazy) {
+            for (unsigned b = 0; b < n1; ++b) {
+                const std::size_t d = static_cast<std::size_t>(g) * n1 + b;
+                if (d >= n)
+                    break;
+                if (!dc->nonzero[d])
+                    continue;
+                Ciphertext term =
+                    eval_.mulPlain(baby[b], dc->ptData[d], p_scale);
+                inner = inner_first ? term : eval_.add(inner, term);
+                inner_first = false;
             }
-            if (!nonzero)
-                continue;
-            RnsPoly pt = encoder_.encode(diag, p_scale, level);
-            Ciphertext term = eval_.mulPlain(baby[b], pt, p_scale);
-            inner = inner_first ? term : eval_.add(inner, term);
-            inner_first = false;
+        } else {
+            // Lazy accumulation: data-basis MACs for the exact parts
+            // (c0 rotations, the unrotated b = 0 term) and ext-basis
+            // MACs for the keyswitch products; one mod-down per
+            // component per giant step instead of one per rotation.
+            RnsPoly ext0, ext1;
+            bool ext_first = true;
+            for (unsigned b = 0; b < n1; ++b) {
+                const std::size_t d = static_cast<std::size_t>(g) * n1 + b;
+                if (d >= n)
+                    break;
+                if (!dc->nonzero[d])
+                    continue;
+                if (inner_first) {
+                    inner.c0 =
+                        RnsPoly(ctx_.chain(), ctx_.dataIdx(level), true);
+                    inner.c1 =
+                        RnsPoly(ctx_.chain(), ctx_.dataIdx(level), true);
+                    inner_first = false;
+                }
+                if (b == 0) {
+                    inner.c0.addMulAssign(dc->ptData[d], ct.c0);
+                    inner.c1.addMulAssign(dc->ptData[d], ct.c1);
+                    ops.polyMults += 2 * level;
+                    ops.polyAdds += 2 * level;
+                } else {
+                    if (ext_first) {
+                        ext0 = RnsPoly(ctx_.chain(), digits.extIdx, true);
+                        ext1 = RnsPoly(ctx_.chain(), digits.extIdx, true);
+                        ext_first = false;
+                    }
+                    inner.c0.addMulAssign(dc->ptData[d], c0rot[b]);
+                    ext0.addMulAssign(dc->ptExt[d], k0[b]);
+                    ext1.addMulAssign(dc->ptExt[d], k1[b]);
+                    ops.polyMults += level + 2 * digits.extIdx.size();
+                    ops.polyAdds += level + 2 * digits.extIdx.size();
+                }
+            }
+            if (!inner_first) {
+                if (!ext_first) {
+                    inner.c0 += eval_.modDown(ext0);
+                    inner.c1 += eval_.modDown(ext1);
+                    ops.polyAdds += 2 * level;
+                }
+                inner.scale = ct.scale * p_scale;
+            }
         }
         if (inner_first)
             continue;
@@ -205,6 +389,20 @@ Bootstrapper::linearTransform(const Ciphertext &ct, const Matrix &m) const
     CL_ASSERT(!first, "linear transform with all-zero matrix");
     eval_.rescale(acc);
     return acc;
+}
+
+Ciphertext
+Bootstrapper::applyCoeffToSlot(const Ciphertext &ct,
+                               LinearTransformMode mode) const
+{
+    return linearTransform(ct, coeffToSlot_, 0, mode);
+}
+
+Ciphertext
+Bootstrapper::applySlotToCoeff(const Ciphertext &ct,
+                               LinearTransformMode mode) const
+{
+    return linearTransform(ct, slotToCoeff_, 1, mode);
 }
 
 Ciphertext
@@ -344,7 +542,8 @@ Bootstrapper::bootstrap(const Ciphertext &ct) const
 
     // 2. CoeffToSlot, then split the packed real/imag coefficient
     //    halves with a conjugation.
-    Ciphertext t = linearTransform(raised, coeffToSlot_);
+    Ciphertext t =
+        linearTransform(raised, coeffToSlot_, 0, params_.ltMode);
     Ciphertext tc = eval_.conjugate(t, galois_);
     Ciphertext u = eval_.add(t, tc);        // slots: 2*x1 (x = m+q0 k)
     Ciphertext vr = eval_.sub(t, tc);       // slots: 2i*x2
@@ -364,7 +563,7 @@ Bootstrapper::bootstrap(const Ciphertext &ct) const
     Ciphertext evi = mulConst(ev, Complex(0, 1));
     alignPair(eu, evi);
     Ciphertext w = eval_.add(eu, evi);
-    Ciphertext out = linearTransform(w, slotToCoeff_);
+    Ciphertext out = linearTransform(w, slotToCoeff_, 1, params_.ltMode);
 
     // Slots now hold z(m)/q0; re-declare the scale so they read as
     // z(m)/d_app, the original message.

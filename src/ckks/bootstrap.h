@@ -30,12 +30,38 @@
 #define CL_CKKS_BOOTSTRAP_H
 
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "ckks/encryptor.h"
 #include "ckks/evaluator.h"
 
 namespace cl {
+
+/**
+ * How the BSGS linear transforms execute:
+ *
+ *  - Naive: every baby-step rotation is an independent keyswitch
+ *    (digit lift + mod-up + inner product + mod-down per rotation) —
+ *    the pre-hoisting behavior, kept as the correctness and
+ *    performance baseline.
+ *  - HoistedEager: one shared digit decompose for all baby rotations;
+ *    each rotation still mods down immediately. Bit-identical to
+ *    Naive (a single rotation computes exactly these stages).
+ *  - HoistedLazy: shared decompose plus lazy accumulation — the
+ *    per-rotation inner products stay in the extended basis and each
+ *    giant step performs a single mod-down per ciphertext component.
+ *    Same message, different (smaller) rounding noise: the mod-down's
+ *    base-conversion rounding is applied once per giant step instead
+ *    of once per rotation, so the output is not bit-identical to
+ *    Naive (see DESIGN.md §Hoisted keyswitching).
+ */
+enum class LinearTransformMode
+{
+    Naive,
+    HoistedEager,
+    HoistedLazy,
+};
 
 struct BootstrapParams
 {
@@ -46,6 +72,22 @@ struct BootstrapParams
     unsigned chebDegree = 159;
     /** Baby-step count for the polynomial evaluation (power of 2). */
     unsigned babySteps = 16;
+    /** BSGS execution strategy for CoeffToSlot/SlotToCoeff. */
+    LinearTransformMode ltMode = LinearTransformMode::HoistedLazy;
+    /**
+     * Baby dimension n1 of the transform BSGS split (power of 2;
+     * 0 = auto). Hoisted baby rotations cost only an inner product —
+     * no digit lift, and under HoistedLazy no mod-down either — while
+     * every giant step still pays a full keyswitch plus the deferred
+     * mod-downs, so the hoisted modes want n1 well above the square
+     * split sqrt(n) that minimizes plain rotation count. Auto picks
+     * min(slots, 4*sqrt(slots)).
+     */
+    unsigned ltBabySteps = 0;
+    /** Cache encoded diagonal plaintexts per (matrix, level). Off
+     *  reproduces the historical re-encode-every-call behavior (the
+     *  benchmark baseline). */
+    bool cacheDiagonals = true;
 };
 
 class Bootstrapper
@@ -67,12 +109,50 @@ class Bootstrapper
     /** Levels the pipeline consumes from the top of the chain. */
     unsigned depthUsed() const { return depthUsed_; }
 
+    /** The two BSGS linear transforms, exposed with an explicit
+     *  execution mode for equivalence tests and benchmarks. */
+    Ciphertext applyCoeffToSlot(const Ciphertext &ct,
+                                LinearTransformMode mode) const;
+    Ciphertext applySlotToCoeff(const Ciphertext &ct,
+                                LinearTransformMode mode) const;
+
   private:
     using Matrix = std::vector<std::vector<Complex>>; // row-major n x n
 
-    /** Homomorphic slot-linear transform by dense matrix M (BSGS). */
-    Ciphertext linearTransform(const Ciphertext &ct,
-                               const Matrix &m) const;
+    /**
+     * Encoded diagonals of one transform matrix at one level, built
+     * lazily on first use and reused across bootstrap() calls (the
+     * matrices and the levels they are applied at never change).
+     * ptData: NTT form over the data basis (multiplies ciphertexts);
+     * ptExt: NTT form over Q_level ∪ P (multiplies lazy ext-basis
+     * accumulators; only built for HoistedLazy).
+     */
+    struct DiagCache
+    {
+        std::vector<char> nonzero;
+        std::vector<RnsPoly> ptData;
+        std::vector<RnsPoly> ptExt;
+        bool hasExt = false;
+    };
+
+    /** Homomorphic slot-linear transform by dense matrix M (BSGS).
+     *  @p which identifies M for the diagonal cache (0 = CoeffToSlot,
+     *  1 = SlotToCoeff). */
+    Ciphertext linearTransform(const Ciphertext &ct, const Matrix &m,
+                               int which,
+                               LinearTransformMode mode) const;
+
+    /** Diagonal plaintexts of matrix @p which at @p level (cached). */
+    const DiagCache &diagonals(const Matrix &m, int which,
+                               unsigned level, bool need_ext) const;
+
+    /** Encode all (pre-rotated) diagonals of M at @p level. */
+    DiagCache buildDiagonals(const Matrix &m, unsigned level,
+                             bool need_ext) const;
+
+    /** Rotation diagonal d of M, pre-rotated for giant step g. */
+    std::vector<Complex> rotatedDiagonal(const Matrix &m,
+                                         std::size_t d) const;
 
     /** Evaluate the Chebyshev-basis polynomial at ct (slots in
      *  [-1,1]); returns sum_j coeffs[j] T_j(ct). */
@@ -98,7 +178,9 @@ class Bootstrapper
     std::vector<double> chebCoeffs_;
     SwitchKey relin_;
     GaloisKeys galois_;
+    unsigned ltN1_ = 0; // resolved transform baby dimension
     mutable unsigned depthUsed_ = 0;
+    mutable std::map<std::pair<int, unsigned>, DiagCache> diagCache_;
 };
 
 } // namespace cl

@@ -30,6 +30,13 @@ struct OpCounter
     std::uint64_t ntts = 0;      ///< Forward + inverse NTTs.
     std::uint64_t automorphisms = 0;
 
+    // Staged-keyswitch stage counts (the hoisted path shares one
+    // decompose across many rotations; these make the sharing visible
+    // so per-stage costs can be pinned against the naive path).
+    std::uint64_t decomposes = 0;    ///< Digit-lift + mod-up passes.
+    std::uint64_t innerProducts = 0; ///< Hint inner products.
+    std::uint64_t modDowns = 0;      ///< Extended-basis mod-downs.
+
     void
     reset()
     {

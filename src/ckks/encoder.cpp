@@ -105,6 +105,13 @@ RnsPoly
 CkksEncoder::encode(const std::vector<Complex> &values, double scale,
                     unsigned l_cur) const
 {
+    return encode(values, scale, ctx_.dataIdx(l_cur));
+}
+
+RnsPoly
+CkksEncoder::encode(const std::vector<Complex> &values, double scale,
+                    const std::vector<unsigned> &mod_idx) const
+{
     CL_ASSERT(values.size() <= slots_, "too many values: ", values.size());
     // Pack into a power-of-two number of slots; partially packed
     // ciphertexts replicate across the ring with a coefficient gap.
@@ -118,7 +125,7 @@ CkksEncoder::encode(const std::vector<Complex> &values, double scale,
     const std::size_t n = ctx_.n();
     const std::size_t nh = n / 2;
     const std::size_t gap = nh / used;
-    RnsPoly out(ctx_.chain(), ctx_.dataIdx(l_cur), false);
+    RnsPoly out(ctx_.chain(), mod_idx, false);
     parallelFor(0, out.towers(), [&](std::size_t t) {
         const u64 q = out.modulus(t);
         u64 *c = out.residue(t).data();

@@ -33,6 +33,16 @@ class CkksEncoder
     RnsPoly encode(const std::vector<Complex> &values, double scale,
                    unsigned l_cur) const;
 
+    /**
+     * Encode over an explicit set of chain moduli instead of a data
+     * prefix — used for plaintexts that multiply extended-basis
+     * (Q_l ∪ P) keyswitch accumulators in the lazy-BSGS path. The
+     * residues over any shared modulus match the l_cur overload
+     * exactly (same rounding, same embedding).
+     */
+    RnsPoly encode(const std::vector<Complex> &values, double scale,
+                   const std::vector<unsigned> &mod_idx) const;
+
     /** Decode a plaintext polynomial back to N/2 complex values. */
     std::vector<Complex> decode(const RnsPoly &plain, double scale) const;
 

@@ -113,23 +113,24 @@ Evaluator::mulScalar(const Ciphertext &a, double scalar) const
     return r;
 }
 
-std::pair<RnsPoly, RnsPoly>
-Evaluator::keySwitch(const RnsPoly &d, const SwitchKey &ksk) const
+KeySwitchDigits
+Evaluator::decompose(const RnsPoly &d, unsigned alpha_ks) const
 {
     CL_ASSERT(d.isNtt(), "keyswitch input must be in NTT form");
     const unsigned l = static_cast<unsigned>(d.towers());
-    const unsigned a = ksk.alphaKs;
-    CL_ASSERT(a >= 1, "uninitialized switch key");
+    const unsigned a = alpha_ks;
+    CL_ASSERT(a >= 1, "digit size must be at least 1");
     OpCounter &ops = ctx_.ops();
+    ops.decomposes++;
 
-    std::vector<unsigned> special_idx;
-    for (unsigned i = 0; i < a; ++i)
-        special_idx.push_back(ctx_.l() + i);
-    std::vector<unsigned> ext_idx;
+    KeySwitchDigits out;
+    out.level = l;
+    out.alphaKs = a;
     for (unsigned i = 0; i < l; ++i)
-        ext_idx.push_back(i);
-    for (unsigned i : special_idx)
-        ext_idx.push_back(i);
+        out.extIdx.push_back(i);
+    for (unsigned i = 0; i < a; ++i)
+        out.extIdx.push_back(ctx_.l() + i);
+    const std::vector<unsigned> &ext_idx = out.extIdx;
 
     // Listing 1, line 2: the digits are lifted from the coefficient
     // domain.
@@ -137,12 +138,8 @@ Evaluator::keySwitch(const RnsPoly &d, const SwitchKey &ksk) const
     d_coeff.toCoeff();
     ops.ntts += l;
 
-    RnsPoly acc0(ctx_.chain(), ext_idx, true);
-    RnsPoly acc1(ctx_.chain(), ext_idx, true);
-
     const unsigned dnum = static_cast<unsigned>(ceilDiv(l, a));
-    CL_ASSERT(dnum <= ksk.digits(), "hint has ", ksk.digits(),
-              " digits, need ", dnum);
+    out.u.reserve(dnum);
 
     for (unsigned j = 0; j < dnum; ++j) {
         std::vector<unsigned> digit_idx;
@@ -184,53 +181,111 @@ Evaluator::keySwitch(const RnsPoly &d, const SwitchKey &ksk) const
                 ctx_.chain().ntt(ci).forward(u.residue(t).data());
             }
         });
-
-        // Listing 1, line 6: MAC with the hint pair.
-        RnsPoly kb = ksk.b[j].subset(ext_idx);
-        RnsPoly ka = ksk.a[j].subset(ext_idx);
-        kb *= u;
-        ka *= u;
-        acc0 += kb;
-        acc1 += ka;
-        ops.polyMults += 2 * ext_idx.size();
-        ops.polyAdds += 2 * ext_idx.size();
+        out.u.push_back(std::move(u));
     }
+    return out;
+}
+
+KeySwitchDigits
+Evaluator::automorphismDigits(const KeySwitchDigits &digits,
+                              std::size_t galois) const
+{
+    CL_ASSERT(digits.valid(), "automorphismDigits on empty digits");
+    KeySwitchDigits out;
+    out.extIdx = digits.extIdx;
+    out.level = digits.level;
+    out.alphaKs = digits.alphaKs;
+    out.u.reserve(digits.u.size());
+    for (const RnsPoly &u : digits.u)
+        out.u.push_back(u.automorphism(galois));
+    ctx_.ops().automorphisms += digits.u.size() * digits.extIdx.size();
+    return out;
+}
+
+std::pair<RnsPoly, RnsPoly>
+Evaluator::innerProduct(const KeySwitchDigits &digits,
+                        const SwitchKey &ksk) const
+{
+    CL_ASSERT(digits.valid(), "innerProduct on empty digits");
+    CL_ASSERT(ksk.alphaKs == digits.alphaKs,
+              "digit size mismatch: digits use ", digits.alphaKs,
+              ", hint uses ", ksk.alphaKs);
+    const unsigned dnum = static_cast<unsigned>(digits.u.size());
+    CL_ASSERT(dnum <= ksk.digits(), "hint has ", ksk.digits(),
+              " digits, need ", dnum);
+    OpCounter &ops = ctx_.ops();
+    ops.innerProducts++;
+
+    RnsPoly acc0(ctx_.chain(), digits.extIdx, true);
+    RnsPoly acc1(ctx_.chain(), digits.extIdx, true);
+    for (unsigned j = 0; j < dnum; ++j) {
+        // Listing 1, line 6: fused MAC with the hint pair; the hint
+        // towers are selected by chain index, no subset copies.
+        acc0.addMulAssign(ksk.b[j], digits.u[j]);
+        acc1.addMulAssign(ksk.a[j], digits.u[j]);
+        ops.polyMults += 2 * digits.extIdx.size();
+        ops.polyAdds += 2 * digits.extIdx.size();
+    }
+    return {std::move(acc0), std::move(acc1)};
+}
+
+RnsPoly
+Evaluator::modDown(const RnsPoly &acc) const
+{
+    CL_ASSERT(acc.isNtt(), "modDown input must be in NTT form");
+    std::vector<unsigned> special_idx;
+    unsigned l = 0;
+    for (unsigned i : acc.modIdx()) {
+        if (i < ctx_.l())
+            ++l;
+        else
+            special_idx.push_back(i);
+    }
+    CL_ASSERT(!special_idx.empty(), "modDown needs special towers");
+    CL_ASSERT(acc.modIdx()[0] == 0 && acc.modIdx()[l - 1] == l - 1,
+              "modDown expects data towers first");
+    const unsigned a = static_cast<unsigned>(special_idx.size());
+    OpCounter &ops = ctx_.ops();
+    ops.modDowns++;
 
     // Listing 1, lines 7-10 (mod-down): divide by P.
-    const BaseConverter &down = ctx_.converter(special_idx, ctx_.dataIdx(l));
-    auto mod_down = [&](RnsPoly &acc) {
-        RnsPoly special = acc.subset(special_idx);
-        special.toCoeff();
-        ops.ntts += a;
-        std::vector<std::vector<u64>> conv_out;
-        down.convert(special.residueViews(), conv_out);
-        ops.polyMults += a + a * l;
-        ops.polyAdds += a * l;
-        ops.ntts += l;
-        ops.polyMults += l;
-        ops.polyAdds += l;
+    const BaseConverter &down =
+        ctx_.converter(special_idx, ctx_.dataIdx(l));
+    RnsPoly special = acc.subset(special_idx);
+    special.toCoeff();
+    ops.ntts += a;
+    std::vector<std::vector<u64>> conv_out;
+    down.convert(special.residueViews(), conv_out);
+    ops.polyMults += a + a * l;
+    ops.polyAdds += a * l;
+    ops.ntts += l;
+    ops.polyMults += l;
+    ops.polyAdds += l;
 
-        RnsPoly out(RnsPoly::Uninit{}, ctx_.chain(), ctx_.dataIdx(l),
-                    true);
-        parallelFor(0, l, [&](std::size_t t) {
-            const u64 q = ctx_.chain().modulus(t);
-            ctx_.chain().ntt(t).forward(conv_out[t].data());
-            // P^{-1} for the special primes this hint uses.
-            u64 p_mod_q = 1;
-            for (unsigned i : special_idx)
-                p_mod_q = mulMod(p_mod_q, ctx_.chain().modulus(i) % q, q);
-            const ShoupMul p_inv(invMod(p_mod_q, q), q);
-            kernels().subMulShoupVec(out.residue(t).data(),
-                                     acc.residue(t).data(),
-                                     conv_out[t].data(), ctx_.n(),
-                                     p_inv.w, p_inv.wPrec, q);
-        });
-        acc = std::move(out);
-    };
-    mod_down(acc0);
-    mod_down(acc1);
+    RnsPoly out(RnsPoly::Uninit{}, ctx_.chain(), ctx_.dataIdx(l), true);
+    parallelFor(0, l, [&](std::size_t t) {
+        const u64 q = ctx_.chain().modulus(t);
+        ctx_.chain().ntt(t).forward(conv_out[t].data());
+        // P^{-1} for the special primes this hint uses.
+        u64 p_mod_q = 1;
+        for (unsigned i : special_idx)
+            p_mod_q = mulMod(p_mod_q, ctx_.chain().modulus(i) % q, q);
+        const ShoupMul p_inv(invMod(p_mod_q, q), q);
+        kernels().subMulShoupVec(out.residue(t).data(),
+                                 acc.residue(t).data(),
+                                 conv_out[t].data(), ctx_.n(), p_inv.w,
+                                 p_inv.wPrec, q);
+    });
+    return out;
+}
 
-    return {std::move(acc0), std::move(acc1)};
+std::pair<RnsPoly, RnsPoly>
+Evaluator::keySwitch(const RnsPoly &d, const SwitchKey &ksk) const
+{
+    CL_ASSERT(ksk.alphaKs >= 1, "uninitialized switch key");
+    const KeySwitchDigits digits = decompose(d, ksk.alphaKs);
+    auto [acc0, acc1] = innerProduct(digits, ksk);
+    return {modDown(acc0), modDown(acc1)};
 }
 
 Ciphertext
@@ -328,11 +383,32 @@ Ciphertext
 Evaluator::rotateByGalois(const Ciphertext &a, std::size_t galois,
                           const SwitchKey &key) const
 {
-    RnsPoly c0_rot = a.c0.automorphism(galois);
-    RnsPoly c1_rot = a.c1.automorphism(galois);
-    ctx_.ops().automorphisms += 2 * a.level();
+    if (galois == 1)
+        return a; // identity automorphism: no keyswitch needed
+    // Staged form: lift the digits of c1 once, then permute them in
+    // the raised basis. Equivalent to decompose-after-automorphism up
+    // to base-conversion rounding (automorphism is a ring hom, and the
+    // digit constants W_j are integers, invariant under it), and it is
+    // exactly what the hoisted path computes — so single rotations and
+    // hoisted rotations agree bit for bit.
+    const KeySwitchDigits digits = decompose(a.c1, key.alphaKs);
+    return rotateByGaloisHoisted(a, galois, key, digits);
+}
 
-    auto [k0, k1] = keySwitch(c1_rot, key);
+Ciphertext
+Evaluator::rotateByGaloisHoisted(const Ciphertext &a, std::size_t galois,
+                                 const SwitchKey &key,
+                                 const KeySwitchDigits &digits) const
+{
+    if (galois == 1)
+        return a;
+    const KeySwitchDigits rot = automorphismDigits(digits, galois);
+    RnsPoly c0_rot = a.c0.automorphism(galois);
+    ctx_.ops().automorphisms += a.level();
+
+    auto [acc0, acc1] = innerProduct(rot, key);
+    RnsPoly k0 = modDown(acc0);
+    RnsPoly k1 = modDown(acc1);
     Ciphertext r;
     r.c0 = std::move(c0_rot);
     r.c0 += k0;

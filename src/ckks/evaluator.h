@@ -18,6 +18,25 @@
 
 namespace cl {
 
+/**
+ * The reusable first stage of keyswitching: the input polynomial's
+ * digits, lifted to the extended basis Q_l ∪ P (Listing 1 lines 2-5),
+ * in NTT form. Computing this once and reusing it across rotations is
+ * the hoisting optimization: automorphisms act on the raised digits as
+ * pure NTT-domain permutations, so each additional rotation costs only
+ * the hint inner product and a mod-down — the digit lift and mod-up
+ * NTTs are paid once per ciphertext instead of once per rotation.
+ */
+struct KeySwitchDigits
+{
+    std::vector<RnsPoly> u;       ///< dnum digit polys over Q_l ∪ P.
+    std::vector<unsigned> extIdx; ///< Chain indices of the ext basis.
+    unsigned level = 0;           ///< Towers of the source polynomial.
+    unsigned alphaKs = 0;         ///< Digit size the lift used.
+
+    bool valid() const { return !u.empty(); }
+};
+
 class Evaluator
 {
   public:
@@ -66,10 +85,56 @@ class Evaluator
     /**
      * Switch @p d (over the data basis at its level, NTT form) from
      * the hint's source key to the canonical secret: returns (k0, k1)
-     * with k0 + k1·s ≈ d·s_src.
+     * with k0 + k1·s ≈ d·s_src. Composed from the staged primitives
+     * below: decompose + innerProduct + modDown.
      */
     std::pair<RnsPoly, RnsPoly> keySwitch(const RnsPoly &d,
                                           const SwitchKey &ksk) const;
+
+    // --- Staged keyswitching (the hoisted API) ---
+    /**
+     * Stage 1: digit lift + mod-up of @p d (NTT form, data basis at
+     * its level) with digit size @p alpha_ks. The dominant cost of a
+     * keyswitch; reusable across every rotation of the same
+     * ciphertext (and across any hint with the same digit size).
+     */
+    KeySwitchDigits decompose(const RnsPoly &d, unsigned alpha_ks) const;
+
+    /**
+     * Permute raised digits by the Galois automorphism x -> x^galois.
+     * Exact in the raised basis: automorphism is a ring homomorphism,
+     * so σ(digits of d) are valid digits of σ(d) — the digit constants
+     * W_j are rational integers, invariant under σ. NTT-domain gather,
+     * no sign corrections.
+     */
+    KeySwitchDigits automorphismDigits(const KeySwitchDigits &digits,
+                                       std::size_t galois) const;
+
+    /**
+     * Stage 2: hint inner product sum_j u_j * (b_j, a_j) over the
+     * extended basis. Results carry the P factor; modDown removes it.
+     */
+    std::pair<RnsPoly, RnsPoly>
+    innerProduct(const KeySwitchDigits &digits, const SwitchKey &ksk) const;
+
+    /**
+     * Stage 3: divide an extended-basis accumulator by P and return it
+     * on the data basis (Listing 1 lines 7-10). The special towers are
+     * identified by chain index (>= l), so any ext-basis polynomial —
+     * a single inner product or a lazy sum of many — mods down alike.
+     */
+    RnsPoly modDown(const RnsPoly &acc) const;
+
+    /**
+     * Hoisted rotation: apply automorphism @p galois to @p a reusing
+     * the precomputed @p digits of a.c1. Skips the digit lift/mod-up;
+     * bit-identical to rotateByGalois on the same inputs (which
+     * computes the same digits freshly).
+     */
+    Ciphertext rotateByGaloisHoisted(const Ciphertext &a,
+                                     std::size_t galois,
+                                     const SwitchKey &key,
+                                     const KeySwitchDigits &digits) const;
 
     // --- Bootstrapping primitive ---
     /**

@@ -148,7 +148,9 @@ HomBuilder::keyedOp(HomOpKind kind, Ct a, std::string key_id, int steps)
 HomBuilder::Ct
 HomBuilder::rotate(Ct a, int steps)
 {
-    if (steps == 0)
+    // Whole-ring rotations are the identity automorphism (the Galois
+    // exponent is 5^(steps mod slots) = 1): no keyswitch, no op.
+    if (steps % static_cast<long>(slots()) == 0)
         return a;
     return keyedOp(HomOpKind::Rotate, a, "rot." + std::to_string(steps),
                    steps);

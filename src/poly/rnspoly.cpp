@@ -110,6 +110,39 @@ RnsPoly::operator*=(const RnsPoly &other)
     return *this;
 }
 
+RnsPoly &
+RnsPoly::addMulAssign(const RnsPoly &a, const RnsPoly &b)
+{
+    checkCompatible(b);
+    CL_ASSERT(ntt_ && a.ntt_, "fused MAC requires NTT form");
+    CL_ASSERT(chain_ == a.chain_, "mixing RNS chains");
+
+    // Position map from our chain indices into a's towers (a may span
+    // a superset basis; see subset() for the same idiom).
+    constexpr std::size_t kNone = ~std::size_t{0};
+    std::size_t max_idx = 0;
+    for (unsigned i : a.modIdx_)
+        max_idx = std::max<std::size_t>(max_idx, i);
+    std::vector<std::size_t> pos(max_idx + 1, kNone);
+    for (std::size_t s = 0; s < a.modIdx_.size(); ++s)
+        pos[a.modIdx_[s]] = s;
+
+    const KernelTable &K = kernels();
+    parallelFor(
+        0, towers(),
+        [&](std::size_t t) {
+            const unsigned ci = modIdx_[t];
+            CL_ASSERT(ci <= max_idx && pos[ci] != kNone,
+                      "addMulAssign: chain index ", ci,
+                      " missing from multiplier");
+            K.mulAddModVec(data_.data() + t * n_,
+                           a.data_.data() + pos[ci] * n_,
+                           b.data_.data() + t * n_, n_, modulus(t));
+        },
+        parallelGrain(n_));
+    return *this;
+}
+
 void
 RnsPoly::negate()
 {

@@ -129,6 +129,17 @@ class RnsPoly
     /** Element-wise multiply; both operands must be in NTT form. */
     RnsPoly &operator*=(const RnsPoly &other);
 
+    /**
+     * Fused multiply-accumulate: this += a * b, element-wise, all in
+     * NTT form. @p b must share this polynomial's basis exactly;
+     * @p a may span a *superset* basis (a keyswitch hint over the full
+     * Q ∪ P serves every level) — the matching towers are selected by
+     * chain index, with no subset copy. Canonically reduced, so the
+     * result is bit-identical to `t = a.subset(...); t *= b;
+     * *this += t`.
+     */
+    RnsPoly &addMulAssign(const RnsPoly &a, const RnsPoly &b);
+
     void negate();
 
     /** Multiply every residue by a scalar (reduced per modulus). */

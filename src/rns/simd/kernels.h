@@ -86,6 +86,13 @@ struct KernelTable
     /** a[i] = a[i] * b[i] mod q (canonical); inputs < q, q < 2^62. */
     void (*mulModVec)(u64 *a, const u64 *b, std::size_t n, u64 q);
 
+    /** acc[i] = (acc[i] + a[i] * b[i]) mod q (canonical); the fused
+     *  multiply-accumulate of the keyswitch hint inner product. All
+     *  inputs < q; acc must not alias a or b. Equals mulModVec into a
+     *  temporary followed by addModVec, fused into one pass. */
+    void (*mulAddModVec)(u64 *acc, const u64 *a, const u64 *b,
+                         std::size_t n, u64 q);
+
     /** a[i] = q - a[i] (0 stays 0); inputs < q. */
     void (*negateVec)(u64 *a, std::size_t n, u64 q);
 

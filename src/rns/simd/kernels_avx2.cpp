@@ -169,6 +169,29 @@ mulModVec(u64 *a, const u64 *b, std::size_t n, u64 q)
 }
 
 void
+mulAddModVec(u64 *acc, const u64 *a, const u64 *b, std::size_t n, u64 q)
+{
+    if (!narrow(q))
+        return ref::mulAddModVec(acc, a, b, n, q);
+    const Split32 m(static_cast<u64>((u128{1} << 64) / q));
+    const __m256i qv = set1(q), qm1 = set1(q - 1);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i x =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(a + i));
+        const __m256i y =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(b + i));
+        const __m256i s = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(acc + i));
+        const __m256i prod = mul32(x, y); // exact: x, y < q < 2^30
+        const __m256i r = barrettReduce(prod, m, qv, qm1);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(acc + i),
+                            csub(_mm256_add_epi64(s, r), qv, qm1));
+    }
+    ref::mulAddModVec(acc + i, a + i, b + i, n - i, q);
+}
+
+void
 negateVec(u64 *a, std::size_t n, u64 q)
 {
     const __m256i qv = set1(q), zero = _mm256_setzero_si256();
@@ -388,6 +411,7 @@ avx2Table()
         &addModVec,
         &subModVec,
         &mulModVec,
+        &mulAddModVec,
         &negateVec,
         &mulModShoupVec,
         &subMulShoupVec,

@@ -143,6 +143,25 @@ mulModVec(u64 *a, const u64 *b, std::size_t n, u64 q)
 }
 
 void
+mulAddModVec(u64 *acc, const u64 *a, const u64 *b, std::size_t n, u64 q)
+{
+    if (!narrow(q))
+        return ref::mulAddModVec(acc, a, b, n, q);
+    const Split32 m(static_cast<u64>((u128{1} << 64) / q));
+    const __m512i qv = set1(q);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m512i x = _mm512_loadu_si512(a + i);
+        const __m512i y = _mm512_loadu_si512(b + i);
+        const __m512i s = _mm512_loadu_si512(acc + i);
+        const __m512i r = barrettReduce(mul32(x, y), m, qv);
+        _mm512_storeu_si512(acc + i,
+                            csub(_mm512_add_epi64(s, r), qv));
+    }
+    ref::mulAddModVec(acc + i, a + i, b + i, n - i, q);
+}
+
+void
 negateVec(u64 *a, std::size_t n, u64 q)
 {
     const __m512i qv = set1(q), zero = _mm512_setzero_si512();
@@ -331,6 +350,7 @@ avx512Table()
         &addModVec,
         &subModVec,
         &mulModVec,
+        &mulAddModVec,
         &negateVec,
         &mulModShoupVec,
         &subMulShoupVec,

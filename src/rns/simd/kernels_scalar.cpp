@@ -15,6 +15,7 @@ scalarTable()
         &ref::addModVec,
         &ref::subModVec,
         &ref::mulModVec,
+        &ref::mulAddModVec,
         &ref::negateVec,
         &ref::mulModShoupVec,
         &ref::subMulShoupVec,

@@ -42,6 +42,13 @@ mulModVec(u64 *a, const u64 *b, std::size_t n, u64 q)
 }
 
 inline void
+mulAddModVec(u64 *acc, const u64 *a, const u64 *b, std::size_t n, u64 q)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        acc[i] = addMod(acc[i], mulMod(a[i], b[i], q), q);
+}
+
+inline void
 negateVec(u64 *a, std::size_t n, u64 q)
 {
     for (std::size_t i = 0; i < n; ++i)

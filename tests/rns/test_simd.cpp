@@ -126,6 +126,32 @@ TEST_P(SimdBackendTest, AddSubMulNegateMatchScalar)
     }
 }
 
+TEST_P(SimdBackendTest, MulAddMatchesScalar)
+{
+    // The fused MAC of the keyswitch inner product: acc += a*b mod q,
+    // checked against the scalar table and against the unfused
+    // mul-then-add composition it must equal bit for bit.
+    for (unsigned bits : kPrimeWidths) {
+        const u64 q = primeOfWidth(bits);
+        for (std::size_t n : kLens) {
+            const auto acc0 = randomVec(n, q, 47 * bits + n, {q - 1, 0});
+            const auto a = randomVec(n, q, 53 * bits + n, {q - 1, q - 1});
+            const auto b = randomVec(n, q, 59 * bits + n, {q - 1, 0});
+
+            auto r1 = acc0, r2 = acc0;
+            ref().mulAddModVec(r1.data(), a.data(), b.data(), n, q);
+            vec().mulAddModVec(r2.data(), a.data(), b.data(), n, q);
+            ASSERT_EQ(r1, r2) << "bits=" << bits << " n=" << n;
+
+            auto prod = a;
+            ref().mulModVec(prod.data(), b.data(), n, q);
+            auto composed = acc0;
+            ref().addModVec(composed.data(), prod.data(), n, q);
+            ASSERT_EQ(r1, composed) << "bits=" << bits << " n=" << n;
+        }
+    }
+}
+
 TEST_P(SimdBackendTest, ShoupKernelsMatchScalar)
 {
     for (unsigned bits : kPrimeWidths) {
