@@ -28,9 +28,26 @@ u64
 scaleToMod(double v, u64 q)
 {
     const double r = std::nearbyint(v);
-    // Values are far below 2^63 for all supported scales.
-    auto s = static_cast<long long>(r);
-    return reduceSigned(s, q);
+    if (std::abs(r) < 9.0e18) {
+        // Fits a signed 64-bit word: reduce directly.
+        auto s = static_cast<long long>(r);
+        return reduceSigned(s, q);
+    }
+    // Coefficients at large scales (e.g. plaintexts encoded at a
+    // post-multiply 2^80 scale) exceed the 64-bit range, but the
+    // rounded double is still an *exact* integer m·2^e with a 53-bit
+    // mantissa — reduce that product mod q exactly. The straight
+    // long-long cast here used to overflow silently, mis-encoding
+    // every wide-scale plaintext.
+    int e = 0;
+    const double m = std::frexp(std::abs(r), &e); // |r| = m·2^e
+    const auto mant = static_cast<u64>(std::ldexp(m, 53));
+    CL_ASSERT(e >= 53, "wide-scale encode: unexpected exponent ", e);
+    u64 res = mulMod(mant % q,
+                     powMod(2, static_cast<u64>(e - 53), q), q);
+    if (r < 0)
+        res = res == 0 ? 0 : q - res;
+    return res;
 }
 
 } // namespace

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "rns/simd/kernels.h"
+#include "util/instrument.h"
 #include "util/threadpool.h"
 
 namespace cl {
@@ -15,8 +16,22 @@ Evaluator::checkSameShape(const Ciphertext &a, const Ciphertext &b) const
 {
     CL_ASSERT(a.level() == b.level(), "level mismatch: ", a.level(), " vs ",
               b.level());
+    // Scale guard: operands within kScaleRelTol are auto-aligned (the
+    // result takes a.scale, absorbing the relative error into the
+    // message noise); anything wider is a program bug — the caller
+    // must rescale or mulPlain-align first.
     const double rel = std::abs(a.scale - b.scale) / a.scale;
-    CL_ASSERT(rel < 1e-6, "scale mismatch: ", a.scale, " vs ", b.scale);
+    CL_ASSERT(rel < kScaleRelTol, "scale mismatch: ", a.scale, " vs ",
+              b.scale, " (rel ", rel, " > ", kScaleRelTol, ")");
+}
+
+void
+Evaluator::checkPlainScale(const Ciphertext &a, double plain_scale) const
+{
+    const double rel = std::abs(a.scale - plain_scale) / a.scale;
+    CL_ASSERT(rel < kScaleRelTol, "plaintext scale mismatch: ct ", a.scale,
+              " vs plain ", plain_scale, " (rel ", rel, " > ",
+              kScaleRelTol, ")");
 }
 
 Ciphertext
@@ -41,30 +56,57 @@ Evaluator::sub(const Ciphertext &a, const Ciphertext &b) const
     return r;
 }
 
+RnsPoly
+Evaluator::alignPlain(const RnsPoly &plain, std::size_t ct_towers) const
+{
+    // Drop surplus towers *before* the NTT so the conversion only
+    // touches residues that survive, and charge the conversion — the
+    // encoder hands out coefficient-form plaintexts, so this is real
+    // NTT work the accounting previously missed.
+    RnsPoly p = plain;
+    if (p.towers() > ct_towers)
+        p.dropTowers(p.towers() - ct_towers);
+    if (!p.isNtt()) {
+        p.toNtt();
+        ctx_.ops().ntts += p.towers();
+    }
+    return p;
+}
+
 Ciphertext
 Evaluator::addPlain(const Ciphertext &a, const RnsPoly &plain) const
 {
-    RnsPoly p = plain;
-    p.toNtt();
+    RnsPoly p = alignPlain(plain, a.c0.towers());
     Ciphertext r = a;
-    if (p.towers() > r.c0.towers())
-        p.dropTowers(p.towers() - r.c0.towers());
     r.c0 += p;
     ctx_.ops().polyAdds += r.c0.towers();
     return r;
 }
 
 Ciphertext
+Evaluator::addPlain(const Ciphertext &a, const RnsPoly &plain,
+                    double plain_scale) const
+{
+    checkPlainScale(a, plain_scale);
+    return addPlain(a, plain);
+}
+
+Ciphertext
 Evaluator::subPlain(const Ciphertext &a, const RnsPoly &plain) const
 {
-    RnsPoly p = plain;
-    p.toNtt();
+    RnsPoly p = alignPlain(plain, a.c0.towers());
     Ciphertext r = a;
-    if (p.towers() > r.c0.towers())
-        p.dropTowers(p.towers() - r.c0.towers());
     r.c0 -= p;
     ctx_.ops().polyAdds += r.c0.towers();
     return r;
+}
+
+Ciphertext
+Evaluator::subPlain(const Ciphertext &a, const RnsPoly &plain,
+                    double plain_scale) const
+{
+    checkPlainScale(a, plain_scale);
+    return subPlain(a, plain);
 }
 
 Ciphertext
@@ -73,6 +115,7 @@ Evaluator::negate(const Ciphertext &a) const
     Ciphertext r = a;
     r.c0.negate();
     r.c1.negate();
+    ctx_.ops().polyAdds += 2 * r.c0.towers();
     return r;
 }
 
@@ -80,10 +123,7 @@ Ciphertext
 Evaluator::mulPlain(const Ciphertext &a, const RnsPoly &plain,
                     double plain_scale) const
 {
-    RnsPoly p = plain;
-    p.toNtt();
-    if (p.towers() > a.c0.towers())
-        p.dropTowers(p.towers() - a.c0.towers());
+    RnsPoly p = alignPlain(plain, a.c0.towers());
     Ciphertext r = a;
     r.c0 *= p;
     r.c1 *= p;
@@ -262,6 +302,11 @@ Evaluator::modDown(const RnsPoly &acc) const
     ops.polyMults += l;
     ops.polyAdds += l;
 
+    // The fused subtract-multiply below is a direct kernel call, not an
+    // RnsPoly operator, so instrument it here: one mult + one add pass
+    // per data tower.
+    countMults(l);
+    countAdds(l);
     RnsPoly out(RnsPoly::Uninit{}, ctx_.chain(), ctx_.dataIdx(l), true);
     parallelFor(0, l, [&](std::size_t t) {
         const u64 q = ctx_.chain().modulus(t);
@@ -344,13 +389,19 @@ Evaluator::square(const Ciphertext &a, const SwitchKey &relin) const
 void
 Evaluator::rescale(Ciphertext &ct) const
 {
-    const u64 q_last = ct.c0.modulus(ct.level() - 1);
+    // Charge against the PRE-drop level l: each polynomial does l
+    // inverse NTTs (all towers enter the coefficient domain), the
+    // correction pass over the l-1 kept towers, and l-1 forward NTTs
+    // back. Charging after rescaleLastTower() undercounts the domain
+    // round trip by one tower per direction per polynomial.
+    const unsigned l = ct.level();
+    const u64 q_last = ct.c0.modulus(l - 1);
     ct.c0.rescaleLastTower();
     ct.c1.rescaleLastTower();
     ct.scale /= static_cast<double>(q_last);
-    ctx_.ops().ntts += 4 * ct.level(); // domain round trips
-    ctx_.ops().polyMults += 2 * ct.level();
-    ctx_.ops().polyAdds += 2 * ct.level();
+    ctx_.ops().ntts += 2 * (2 * l - 1); // l down + (l-1) up, per poly
+    ctx_.ops().polyMults += 2 * (l - 1);
+    ctx_.ops().polyAdds += 2 * (l - 1);
 }
 
 void
@@ -358,6 +409,17 @@ Evaluator::levelDrop(Ciphertext &ct, unsigned target_level) const
 {
     CL_ASSERT(target_level >= 1 && target_level <= ct.level(),
               "bad target level ", target_level);
+    // A ciphertext whose scale alone exceeds the target basis is
+    // unconditionally destroyed by the drop: the scaled message wraps
+    // mod Q and decrypts to noise. (The message magnitude on top of
+    // the scale is the caller's headroom to manage.)
+    double cap_bits = 0;
+    for (unsigned t = 0; t < target_level; ++t)
+        cap_bits += std::log2(
+            static_cast<double>(ctx_.chain().modulus(t)));
+    CL_ASSERT(std::log2(ct.scale) < cap_bits,
+              "levelDrop to level ", target_level, " cannot hold scale ",
+              ct.scale);
     const std::size_t drop = ct.level() - target_level;
     if (drop) {
         ct.c0.dropTowers(drop);
@@ -464,7 +526,13 @@ Evaluator::modRaise(const Ciphertext &ct, unsigned target_level) const
     r.c0 = raise(ct.c0);
     r.c1 = raise(ct.c1);
     r.scale = ct.scale;
-    ctx_.ops().ntts += 2 * (src_idx.size() + target_level);
+    const std::size_t ls = src_idx.size();
+    const std::size_t ld = add_idx.size();
+    ctx_.ops().ntts += 2 * (ls + target_level);
+    // The change-RNS-base itself: per polynomial, one Shoup multiply
+    // per source tower plus an ls-term MAC row per raised tower.
+    ctx_.ops().polyMults += 2 * (ls + ls * ld);
+    ctx_.ops().polyAdds += 2 * (ls * ld);
     return r;
 }
 

@@ -42,11 +42,29 @@ class Evaluator
   public:
     explicit Evaluator(const CkksContext &ctx);
 
+    /**
+     * Relative scale tolerance for operand alignment. Ciphertext and
+     * ct/plain adds whose scales agree within this bound are
+     * auto-aligned: the result takes the left operand's scale and the
+     * relative discrepancy is absorbed into the message noise. A wider
+     * mismatch asserts — the program must rescale or mulPlain-align
+     * its operands first.
+     */
+    static constexpr double kScaleRelTol = 1e-6;
+
     // --- Linear operations ---
     Ciphertext add(const Ciphertext &a, const Ciphertext &b) const;
     Ciphertext sub(const Ciphertext &a, const Ciphertext &b) const;
     Ciphertext addPlain(const Ciphertext &a, const RnsPoly &plain) const;
     Ciphertext subPlain(const Ciphertext &a, const RnsPoly &plain) const;
+
+    /** Scale-checked variants: assert the plaintext was encoded within
+     *  kScaleRelTol of the ciphertext scale before adding. */
+    Ciphertext addPlain(const Ciphertext &a, const RnsPoly &plain,
+                        double plain_scale) const;
+    Ciphertext subPlain(const Ciphertext &a, const RnsPoly &plain,
+                        double plain_scale) const;
+
     Ciphertext negate(const Ciphertext &a) const;
 
     /** Multiply by a plaintext polynomial (NTT form, matching basis
@@ -150,6 +168,8 @@ class Evaluator
 
   private:
     void checkSameShape(const Ciphertext &a, const Ciphertext &b) const;
+    void checkPlainScale(const Ciphertext &a, double plain_scale) const;
+    RnsPoly alignPlain(const RnsPoly &plain, std::size_t ct_towers) const;
 
     const CkksContext &ctx_;
 };

@@ -133,6 +133,20 @@ HomBuilder::mul(Ct a, Ct b, unsigned drop)
 }
 
 HomBuilder::Ct
+HomBuilder::rescale(Ct a, unsigned drop)
+{
+    CL_ASSERT(drop >= 1, "rescale must drop at least one tower");
+    CL_ASSERT(a.level > drop, "out of multiplicative budget at level ",
+              a.level);
+    HomOp op;
+    op.kind = HomOpKind::Rescale;
+    op.args = {a.op};
+    op.level = a.level;
+    op.outLevel = a.level - drop;
+    return {push(op), op.outLevel};
+}
+
+HomBuilder::Ct
 HomBuilder::keyedOp(HomOpKind kind, Ct a, std::string key_id, int steps)
 {
     HomOp op;

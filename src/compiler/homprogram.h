@@ -99,6 +99,10 @@ class HomBuilder
      *  in 28-bit primes). */
     Ct mulPlain(Ct a, const std::string &plain_id, unsigned drop = 1);
     Ct mul(Ct a, Ct b, unsigned drop = 1);
+    /** Explicit rescale: strip @p drop towers, dividing the scale by
+     *  their moduli (for programs that rescale lazily, apart from the
+     *  rescale folded into mul/mulPlain). */
+    Ct rescale(Ct a, unsigned drop = 1);
     Ct rotate(Ct a, int steps);
     Ct conjugate(Ct a);
     Ct levelDrop(Ct a, unsigned target);

@@ -463,6 +463,15 @@ Lowering::lower(const HomProgram &hp)
             emit_keyswitch(tensor, l, op.digits, op.keyId, tensor, ks,
                            tag);
 
+            // A lazy multiply (drop == 0) keeps its level: there is no
+            // tower to strip, so emitting the rescale instruction
+            // anyway would charge 2*lo spurious NTT round trips plus
+            // phantom mult/add vectors for work no backend performs.
+            if (drop == 0) {
+                valueOf[op.id] = ks;
+                break;
+            }
+
             // Rescale to the output level.
             const std::uint32_t out = prog.addValue(
                 ValueKind::Intermediate, ct_words(lo), tag + ".out");

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Corpus serialization: a small, self-describing JSON format holding
+ * the generator seed, the failure message that pinned the file, and
+ * the explicit op list (so minimized programs — which no longer
+ * correspond to any seed — replay exactly).
+ *
+ * The parser handles exactly the subset the writer emits; corpus
+ * files are repo-controlled, so malformed input is fatal rather than
+ * recoverable.
+ */
+
+#include "fuzz/fuzzer.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace cl {
+
+namespace {
+
+const char *
+kindToken(GenKind k)
+{
+    return genKindName(k);
+}
+
+GenKind
+kindFromToken(const std::string &s)
+{
+    for (int k = 0; k <= static_cast<int>(GenKind::Output); ++k) {
+        if (s == genKindName(static_cast<GenKind>(k)))
+            return static_cast<GenKind>(k);
+    }
+    CL_FATAL("unknown op kind in corpus file: ", s);
+}
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+/** Minimal pull parser over the writer's output. */
+class Cursor
+{
+  public:
+    explicit Cursor(const std::string &text) : text_(text) {}
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    tryConsume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expect(char c)
+    {
+        CL_ASSERT(tryConsume(c), "corpus parse error: expected '", c,
+                  "' at offset ", pos_);
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\' && pos_ < text_.size()) {
+                char e = text_[pos_++];
+                out += e == 'n' ? '\n' : e;
+            } else {
+                out += c;
+            }
+        }
+        expect('"');
+        return out;
+    }
+
+    std::int64_t
+    integer()
+    {
+        skipWs();
+        std::size_t end = pos_;
+        if (end < text_.size() && text_[end] == '-')
+            ++end;
+        while (end < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[end])))
+            ++end;
+        CL_ASSERT(end > pos_, "corpus parse error: expected integer at ",
+                  pos_);
+        const std::int64_t v = std::stoll(text_.substr(pos_, end - pos_));
+        pos_ = end;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        // Written as a decimal string to keep full 64-bit precision
+        // out of JSON-number territory.
+        const std::string s = string();
+        return std::stoull(s);
+    }
+
+    bool
+    atEnd()
+    {
+        skipWs();
+        return pos_ >= text_.size();
+    }
+
+  private:
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string
+toJson(const GenProgram &prog, const std::string &failure)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"seed\": \"" << prog.seed << "\",\n";
+    if (!failure.empty())
+        os << "  \"failure\": \"" << escape(failure) << "\",\n";
+    os << "  \"ops\": [\n";
+    for (std::size_t i = 0; i < prog.ops.size(); ++i) {
+        const GenOp &op = prog.ops[i];
+        os << "    {\"kind\": \"" << kindToken(op.kind) << "\", \"a\": "
+           << op.a << ", \"b\": " << op.b << ", \"level\": " << op.level
+           << ", \"scaleOf\": " << op.scaleOf << ", \"steps\": "
+           << op.steps << ", \"valueSeed\": \"" << op.valueSeed << "\"}"
+           << (i + 1 < prog.ops.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+    return os.str();
+}
+
+GenProgram
+fromJson(const std::string &json)
+{
+    GenProgram prog;
+    Cursor cur(json);
+    cur.expect('{');
+    bool first = true;
+    while (!cur.tryConsume('}')) {
+        if (!first)
+            cur.expect(',');
+        first = false;
+        const std::string key = cur.string();
+        cur.expect(':');
+        if (key == "seed") {
+            prog.seed = cur.u64();
+        } else if (key == "failure") {
+            cur.string(); // informational only
+        } else if (key == "ops") {
+            cur.expect('[');
+            if (!cur.tryConsume(']')) {
+                do {
+                    cur.expect('{');
+                    GenOp op;
+                    bool ofirst = true;
+                    while (!cur.tryConsume('}')) {
+                        if (!ofirst)
+                            cur.expect(',');
+                        ofirst = false;
+                        const std::string f = cur.string();
+                        cur.expect(':');
+                        if (f == "kind")
+                            op.kind = kindFromToken(cur.string());
+                        else if (f == "a")
+                            op.a = static_cast<int>(cur.integer());
+                        else if (f == "b")
+                            op.b = static_cast<int>(cur.integer());
+                        else if (f == "level")
+                            op.level = static_cast<int>(cur.integer());
+                        else if (f == "scaleOf")
+                            op.scaleOf = static_cast<int>(cur.integer());
+                        else if (f == "steps")
+                            op.steps = static_cast<int>(cur.integer());
+                        else if (f == "valueSeed")
+                            op.valueSeed = cur.u64();
+                        else
+                            CL_FATAL("unknown op field: ", f);
+                    }
+                    prog.ops.push_back(op);
+                } while (cur.tryConsume(','));
+                cur.expect(']');
+            }
+        } else {
+            CL_FATAL("unknown corpus field: ", key);
+        }
+    }
+    return prog;
+}
+
+} // namespace cl

@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Seeded random program generation plus the shared legality checker.
+ *
+ * The generator and checkLegal() agree on one static model: per value
+ * it tracks (level, scale, magnitude bound, poisoned), where scale is
+ * computed with the *identical* double arithmetic the Evaluator uses,
+ * so the oracle can later demand exact (bit-level) scale agreement.
+ */
+
+#include "fuzz/fuzzer.h"
+
+#include <cmath>
+
+#include "util/prng.h"
+
+namespace cl {
+
+namespace {
+
+/** Headroom (bits) kept between scale·mag and the modulus product. */
+constexpr double kCapacityMarginBits = 12;
+/** Minimum post-rescale scale (bits) so decrypt precision survives. */
+constexpr double kMinScaleBits = 30;
+/** Magnitude bound past which adds/muls stop being offered. */
+constexpr double kMaxMag = 64;
+
+bool
+fitsCapacity(const FuzzEnv &env, unsigned level, double scale, double mag)
+{
+    const double used =
+        std::log2(scale) + std::log2(std::max(mag, 1.0));
+    return used + kCapacityMarginBits < env.capacityBits(level);
+}
+
+/** The static effect of one op; shared by generation and legality
+ *  re-checking. Returns false (with a reason) if the op is illegal in
+ *  the given state. */
+bool
+applyOp(const FuzzEnv &env, const GenOp &op,
+        const std::vector<TrackedValue> &vals, TrackedValue &out,
+        std::string *why)
+{
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+    auto operand = [&](int idx) -> const TrackedValue * {
+        if (idx < 0 || static_cast<std::size_t>(idx) >= vals.size())
+            return nullptr;
+        return &vals[idx];
+    };
+
+    const TrackedValue *a = operand(op.a);
+    const TrackedValue *b = operand(op.b);
+
+    switch (op.kind) {
+      case GenKind::Input: {
+        if (op.level < 1 ||
+            static_cast<unsigned>(op.level) > env.lMax())
+            return fail("input level out of range");
+        double scale = env.contextScale();
+        if (op.scaleOf >= 0) {
+            const TrackedValue *ref = operand(op.scaleOf);
+            if (!ref)
+                return fail("input scale reference out of range");
+            scale = ref->scale;
+        }
+        if (!fitsCapacity(env, op.level, scale, 1.5))
+            return fail("input scale exceeds level capacity");
+        out = {static_cast<unsigned>(op.level), scale, 1.5, false};
+        return true;
+      }
+      case GenKind::Add:
+      case GenKind::Sub: {
+        if (!a || !b)
+            return fail("missing operand");
+        if (a->level != b->level)
+            return fail("add level mismatch");
+        if (a->scale != b->scale)
+            return fail("add scale mismatch");
+        const double mag = a->mag + b->mag;
+        if (mag > kMaxMag)
+            return fail("magnitude bound exceeded");
+        out = {a->level, a->scale, mag, a->poisoned || b->poisoned};
+        return true;
+      }
+      case GenKind::AddPlain:
+      case GenKind::SubPlain: {
+        if (!a)
+            return fail("missing operand");
+        const double mag = a->mag + 1.5;
+        if (mag > kMaxMag)
+            return fail("magnitude bound exceeded");
+        out = {a->level, a->scale, mag, a->poisoned};
+        return true;
+      }
+      case GenKind::MulPlain: {
+        if (!a)
+            return fail("missing operand");
+        // Mirrors Evaluator::mulPlain: scale multiplies.
+        const double scale = a->scale * env.contextScale();
+        const double mag = a->mag * 1.5;
+        if (mag > kMaxMag)
+            return fail("magnitude bound exceeded");
+        if (!fitsCapacity(env, a->level, scale, mag))
+            return fail("mulPlain scale exceeds capacity");
+        out = {a->level, scale, mag, a->poisoned};
+        return true;
+      }
+      case GenKind::Mul: {
+        if (!a || !b)
+            return fail("missing operand");
+        if (a->level != b->level)
+            return fail("mul level mismatch");
+        if (a->level < 2)
+            return fail("mul needs rescale budget");
+        const double scale = a->scale * b->scale;
+        const double mag = a->mag * b->mag;
+        if (mag > kMaxMag)
+            return fail("magnitude bound exceeded");
+        if (!fitsCapacity(env, a->level, scale, mag))
+            return fail("mul scale exceeds capacity");
+        out = {a->level, scale, mag, a->poisoned || b->poisoned};
+        return true;
+      }
+      case GenKind::Rescale: {
+        if (!a)
+            return fail("missing operand");
+        if (a->level < 2)
+            return fail("rescale needs two towers");
+        // Mirrors Evaluator::rescale: divide by the last live prime.
+        const double scale = a->scale / env.lastModulus(a->level);
+        if (std::log2(scale) < kMinScaleBits)
+            return fail("rescale would drop scale below precision floor");
+        if (!fitsCapacity(env, a->level - 1, scale, a->mag))
+            return fail("rescale would overflow reduced capacity");
+        out = {a->level - 1, scale, a->mag, a->poisoned};
+        return true;
+      }
+      case GenKind::Rotate: {
+        if (!a)
+            return fail("missing operand");
+        bool known = false;
+        for (int s : env.rotationSteps())
+            known |= s == op.steps;
+        if (!known || op.steps == 0)
+            return fail("rotation step has no key");
+        out = *a;
+        return true;
+      }
+      case GenKind::Conjugate: {
+        if (!a)
+            return fail("missing operand");
+        out = *a;
+        return true;
+      }
+      case GenKind::LevelDrop: {
+        if (!a)
+            return fail("missing operand");
+        if (a->level < 2)
+            return fail("levelDrop needs two towers");
+        // The scale is unchanged but the modulus product shrinks:
+        // the message must still fit under the smaller capacity, or
+        // the plaintext wraps mod Q and decrypts to garbage.
+        if (!fitsCapacity(env, a->level - 1, a->scale, a->mag))
+            return fail("levelDrop would overflow reduced capacity");
+        out = {a->level - 1, a->scale, a->mag, a->poisoned};
+        return true;
+      }
+      case GenKind::ModRaise: {
+        if (!a)
+            return fail("missing operand");
+        if (static_cast<unsigned>(op.level) <= a->level ||
+            static_cast<unsigned>(op.level) > env.lMax())
+            return fail("modRaise target must exceed current level");
+        // Decrypt becomes m + k·q0: value is unpredictable from the
+        // slot model, so everything downstream is poisoned.
+        out = {static_cast<unsigned>(op.level), a->scale, a->mag, true};
+        return true;
+      }
+      case GenKind::Output: {
+        if (!a)
+            return fail("missing operand");
+        out = *a;
+        return true;
+      }
+    }
+    return fail("unknown op kind");
+}
+
+} // namespace
+
+const char *
+genKindName(GenKind k)
+{
+    switch (k) {
+      case GenKind::Input: return "input";
+      case GenKind::Add: return "add";
+      case GenKind::Sub: return "sub";
+      case GenKind::AddPlain: return "addPlain";
+      case GenKind::SubPlain: return "subPlain";
+      case GenKind::MulPlain: return "mulPlain";
+      case GenKind::Mul: return "mul";
+      case GenKind::Rescale: return "rescale";
+      case GenKind::Rotate: return "rotate";
+      case GenKind::Conjugate: return "conjugate";
+      case GenKind::LevelDrop: return "levelDrop";
+      case GenKind::ModRaise: return "modRaise";
+      case GenKind::Output: return "output";
+    }
+    return "?";
+}
+
+bool
+GenProgram::hasModRaise() const
+{
+    return countKind(GenKind::ModRaise) > 0;
+}
+
+std::size_t
+GenProgram::countKind(GenKind k) const
+{
+    std::size_t c = 0;
+    for (const GenOp &op : ops)
+        c += op.kind == k ? 1 : 0;
+    return c;
+}
+
+FuzzEnv::FuzzEnv(const CkksParams &params)
+    : steps_({1, 2, 3, 5, 8, -1, -4})
+{
+    ctx_ = std::make_unique<CkksContext>(params);
+    encoder_ = std::make_unique<CkksEncoder>(*ctx_);
+    keygen_ = std::make_unique<KeyGenerator>(*ctx_);
+    evaluator_ = std::make_unique<Evaluator>(*ctx_);
+    pk_ = keygen_->genPublicKey();
+    relin_ = keygen_->genRelinKey();
+    galois_ = keygen_->genRotationKeys(steps_, /*conjugate=*/true);
+}
+
+double
+FuzzEnv::capacityBits(unsigned level) const
+{
+    double bits = 0;
+    for (unsigned t = 0; t < level; ++t)
+        bits += std::log2(static_cast<double>(ctx_->chain().modulus(t)));
+    return bits;
+}
+
+double
+FuzzEnv::lastModulus(unsigned level) const
+{
+    return static_cast<double>(ctx_->chain().modulus(level - 1));
+}
+
+std::optional<std::vector<TrackedValue>>
+checkLegal(const FuzzEnv &env, const GenProgram &prog, std::string *why)
+{
+    std::vector<TrackedValue> vals;
+    vals.reserve(prog.ops.size());
+    for (std::size_t i = 0; i < prog.ops.size(); ++i) {
+        const GenOp &op = prog.ops[i];
+        if ((op.a >= 0 && static_cast<std::size_t>(op.a) >= i) ||
+            (op.b >= 0 && static_cast<std::size_t>(op.b) >= i) ||
+            (op.scaleOf >= 0 && static_cast<std::size_t>(op.scaleOf) >= i)) {
+            if (why)
+                *why = "op " + std::to_string(i) +
+                       " references a later op";
+            return std::nullopt;
+        }
+        TrackedValue out;
+        std::string reason;
+        if (!applyOp(env, op, vals, out, &reason)) {
+            if (why)
+                *why = "op " + std::to_string(i) + " (" +
+                       genKindName(op.kind) + "): " + reason;
+            return std::nullopt;
+        }
+        vals.push_back(out);
+    }
+    return vals;
+}
+
+GenProgram
+generateProgram(const FuzzEnv &env, const FuzzConfig &cfg,
+                std::uint64_t seed)
+{
+    CL_ASSERT(cfg.weights.size() ==
+                  static_cast<std::size_t>(GenKind::Output),
+              "weights must cover Input..ModRaise");
+    FastRng rng(seed ^ 0x66757a7aULL); // "fuzz"
+
+    GenProgram prog;
+    prog.seed = seed;
+    std::vector<TrackedValue> vals;
+
+    auto push = [&](GenOp op) {
+        TrackedValue out;
+        const bool ok = applyOp(env, op, vals, out, nullptr);
+        CL_ASSERT(ok, "generator produced an illegal op");
+        prog.ops.push_back(op);
+        vals.push_back(out);
+        return static_cast<int>(prog.ops.size()) - 1;
+    };
+
+    // Seed inputs at the top level and context scale.
+    const unsigned n_inputs = std::max(1u, cfg.inputs);
+    for (unsigned i = 0; i < n_inputs; ++i) {
+        GenOp op;
+        op.kind = GenKind::Input;
+        op.level = static_cast<int>(env.lMax());
+        op.valueSeed = rng.next64();
+        push(op);
+    }
+
+    // Live set: ops that may still be consumed. Everything stays
+    // live (DAG reuse is allowed and desirable); "live" here only
+    // means "a value exists for this index".
+    auto pick_live = [&]() {
+        return static_cast<int>(rng.nextBelow(vals.size()));
+    };
+    /** A partner for `a` with equal level and bit-identical scale, or
+     *  -1 if none exists. */
+    auto pick_partner = [&](int a) {
+        std::vector<int> cands;
+        for (std::size_t j = 0; j < vals.size(); ++j) {
+            if (vals[j].level == vals[a].level &&
+                vals[j].scale == vals[a].scale)
+                cands.push_back(static_cast<int>(j));
+        }
+        if (cands.empty())
+            return -1;
+        return cands[rng.nextBelow(cands.size())];
+    };
+
+    std::uint64_t total_weight = 0;
+    for (unsigned w : cfg.weights)
+        total_weight += w;
+    CL_ASSERT(total_weight > 0, "all op weights are zero");
+
+    unsigned emitted = 0;
+    unsigned attempts = 0;
+    const unsigned max_attempts = cfg.maxOps * 20;
+    while (emitted < cfg.maxOps && attempts < max_attempts) {
+        ++attempts;
+        // Weighted kind draw.
+        std::uint64_t r = rng.nextBelow(total_weight);
+        unsigned kind_idx = 0;
+        while (r >= cfg.weights[kind_idx]) {
+            r -= cfg.weights[kind_idx];
+            ++kind_idx;
+        }
+        const GenKind kind = static_cast<GenKind>(kind_idx);
+        if (kind == GenKind::ModRaise && !cfg.allowModRaise)
+            continue;
+
+        GenOp op;
+        op.kind = kind;
+        op.a = pick_live();
+        switch (kind) {
+          case GenKind::Add:
+          case GenKind::Sub: {
+            op.b = pick_partner(op.a);
+            if (op.b < 0) {
+                // No equal-scale partner: encrypt a fresh input at
+                // the operand's exact level and scale so the pair is
+                // legal by construction.
+                GenOp in;
+                in.kind = GenKind::Input;
+                in.level = static_cast<int>(vals[op.a].level);
+                in.scaleOf = op.a;
+                in.valueSeed = rng.next64();
+                TrackedValue probe;
+                if (!applyOp(env, in, vals, probe, nullptr))
+                    continue;
+                op.b = push(in);
+                ++emitted;
+            }
+            break;
+          }
+          case GenKind::Mul: {
+            // Any same-level partner works; scales need not match.
+            std::vector<int> cands;
+            for (std::size_t j = 0; j < vals.size(); ++j)
+                if (vals[j].level == vals[op.a].level)
+                    cands.push_back(static_cast<int>(j));
+            op.b = cands[rng.nextBelow(cands.size())];
+            break;
+          }
+          case GenKind::AddPlain:
+          case GenKind::SubPlain:
+          case GenKind::MulPlain:
+            op.valueSeed = rng.next64();
+            break;
+          case GenKind::Rotate: {
+            const auto &steps = env.rotationSteps();
+            op.steps = steps[rng.nextBelow(steps.size())];
+            break;
+          }
+          case GenKind::ModRaise:
+            op.level = static_cast<int>(env.lMax());
+            break;
+          default:
+            break;
+        }
+
+        TrackedValue probe;
+        if (!applyOp(env, op, vals, probe, nullptr))
+            continue; // illegal in this state; redraw
+        push(op);
+        ++emitted;
+    }
+
+    // Sink every op that nothing consumed, so all dataflow reaches an
+    // output and the lowering keeps it.
+    std::vector<bool> consumed(prog.ops.size(), false);
+    for (const GenOp &op : prog.ops) {
+        if (op.a >= 0)
+            consumed[op.a] = true;
+        if (op.b >= 0)
+            consumed[op.b] = true;
+    }
+    const std::size_t pre_output = prog.ops.size();
+    for (std::size_t i = 0; i < pre_output; ++i) {
+        if (consumed[i])
+            continue;
+        GenOp out;
+        out.kind = GenKind::Output;
+        out.a = static_cast<int>(i);
+        push(out);
+    }
+    return prog;
+}
+
+} // namespace cl

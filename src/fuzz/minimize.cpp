@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Greedy test-case shrinking. Two move classes, run to a fixed point:
+ *
+ *  1. drop-op: remove an op together with every transitive dependent;
+ *  2. forward-op: replace a non-input op by its first ciphertext
+ *     operand (rewiring consumers) and delete it.
+ *
+ * A candidate survives only if it is still a legal program AND still
+ * fails the oracle. Both move classes strictly shrink the op list, so
+ * the loop terminates; the scan order is deterministic, so the result
+ * is a pure function of the input — minimizing an already-minimal
+ * program returns it unchanged.
+ */
+
+#include "fuzz/fuzzer.h"
+
+namespace cl {
+
+namespace {
+
+/** Remap operand indices after deletion; drops ops whose operands
+ *  were deleted are the caller's responsibility. */
+GenProgram
+compact(const GenProgram &prog, const std::vector<bool> &keep)
+{
+    std::vector<int> remap(prog.ops.size(), -1);
+    GenProgram out;
+    out.seed = prog.seed;
+    for (std::size_t i = 0; i < prog.ops.size(); ++i) {
+        if (!keep[i])
+            continue;
+        GenOp op = prog.ops[i];
+        if (op.a >= 0)
+            op.a = remap[op.a];
+        if (op.b >= 0)
+            op.b = remap[op.b];
+        if (op.scaleOf >= 0)
+            op.scaleOf = remap[op.scaleOf];
+        remap[i] = static_cast<int>(out.ops.size());
+        out.ops.push_back(op);
+    }
+    return out;
+}
+
+/** Delete op @p victim and everything that (transitively) reads it. */
+GenProgram
+dropWithDependents(const GenProgram &prog, std::size_t victim)
+{
+    std::vector<bool> keep(prog.ops.size(), true);
+    keep[victim] = false;
+    for (std::size_t i = victim + 1; i < prog.ops.size(); ++i) {
+        const GenOp &op = prog.ops[i];
+        const bool dead =
+            (op.a >= 0 && !keep[op.a]) || (op.b >= 0 && !keep[op.b]) ||
+            (op.scaleOf >= 0 && !keep[op.scaleOf]);
+        if (dead)
+            keep[i] = false;
+    }
+    return compact(prog, keep);
+}
+
+/** Replace op @p victim by its first ciphertext operand. */
+GenProgram
+forwardToOperand(const GenProgram &prog, std::size_t victim)
+{
+    GenProgram out = prog;
+    const int target = out.ops[victim].a;
+    for (std::size_t i = victim + 1; i < out.ops.size(); ++i) {
+        GenOp &op = out.ops[i];
+        if (op.a == static_cast<int>(victim))
+            op.a = target;
+        if (op.b == static_cast<int>(victim))
+            op.b = target;
+        if (op.scaleOf == static_cast<int>(victim))
+            op.scaleOf = target;
+    }
+    std::vector<bool> keep(out.ops.size(), true);
+    keep[victim] = false;
+    return compact(out, keep);
+}
+
+bool
+stillFails(const FuzzEnv &env, const GenProgram &cand,
+           const OracleOptions &opts)
+{
+    if (cand.ops.empty())
+        return false;
+    if (!checkLegal(env, cand))
+        return false;
+    return !runOracle(env, cand, opts).ok;
+}
+
+} // namespace
+
+GenProgram
+minimizeProgram(const FuzzEnv &env, const GenProgram &prog,
+                const OracleOptions &opts)
+{
+    GenProgram cur = prog;
+    if (runOracle(env, cur, opts).ok)
+        return cur; // nothing to minimize
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Drop from the back first: later ops have fewer dependents,
+        // so more candidates survive and the front shrinks last.
+        for (std::size_t i = cur.ops.size(); i-- > 0;) {
+            GenProgram cand = dropWithDependents(cur, i);
+            if (cand.ops.size() < cur.ops.size() &&
+                stillFails(env, cand, opts)) {
+                cur = std::move(cand);
+                changed = true;
+            }
+        }
+        for (std::size_t i = cur.ops.size(); i-- > 0;) {
+            const GenOp &op = cur.ops[i];
+            if (op.kind == GenKind::Input ||
+                op.kind == GenKind::Output || op.a < 0)
+                continue;
+            GenProgram cand = forwardToOperand(cur, i);
+            if (stillFails(env, cand, opts)) {
+                cur = std::move(cand);
+                changed = true;
+            }
+        }
+    }
+    return cur;
+}
+
+} // namespace cl

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * The three-way differential oracle (see fuzzer.h for the contract).
+ *
+ * Counter discipline: all encode/encrypt work happens before the
+ * counters are reset, so the OpCounter-vs-instrumentation comparison
+ * covers exactly the Evaluator calls the program performs — a charge
+ * missing from any Evaluator method, or real kernel work an Evaluator
+ * method performs without charging, shows up as an exact-count diff.
+ */
+
+#include "fuzz/fuzzer.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "compiler/lower.h"
+#include "util/instrument.h"
+#include "verify/verifier.h"
+
+namespace cl {
+
+namespace {
+
+/** Random complex slot values with |re|,|im| <= 1 (|z| <= sqrt(2),
+ *  inside the generator's 1.5 magnitude bound). */
+std::vector<Complex>
+slotValues(std::uint64_t seed, std::size_t slots)
+{
+    FastRng rng(seed);
+    std::vector<Complex> v(slots);
+    for (auto &z : v)
+        z = Complex(rng.nextDouble() * 2 - 1, rng.nextDouble() * 2 - 1);
+    return v;
+}
+
+std::string
+describeCounterDiff(const OpCounter &model, const KernelCounts &meas)
+{
+    std::ostringstream os;
+    os << "OpCounter/instrumentation mismatch:"
+       << " polyMults " << model.polyMults << " vs " << meas.mults
+       << ", polyAdds " << model.polyAdds << " vs " << meas.adds
+       << ", ntts " << model.ntts << " vs " << meas.ntts
+       << ", automorphisms " << model.automorphisms << " vs "
+       << meas.automorphisms;
+    return os.str();
+}
+
+} // namespace
+
+OracleResult
+runOracle(const FuzzEnv &env, const GenProgram &prog,
+          const OracleOptions &opts)
+{
+    OracleResult res;
+    std::string why;
+    const auto tracked = checkLegal(env, prog, &why);
+    if (!tracked) {
+        res.ok = false;
+        res.failure = "illegal program: " + why;
+        return res;
+    }
+
+    const CkksContext &ctx = env.ctx();
+    const CkksEncoder &enc = env.encoder();
+    const Evaluator &eval = env.evaluator();
+    const std::size_t slots = ctx.slots();
+    const bool mod_raise = prog.hasModRaise();
+
+    // ---- Stage 0: pre-encode plaintexts and pre-encrypt inputs (all
+    //      the work the counter cross-check must NOT see). ----
+    Encryptor encryptor(ctx, env.publicKey(), prog.seed ^ 0x656e63ULL);
+    Decryptor decryptor(ctx, env.secretKey());
+    std::vector<Ciphertext> cts(prog.ops.size());
+    std::vector<RnsPoly> plains;
+    std::vector<int> plainOf(prog.ops.size(), -1);
+    std::vector<std::vector<Complex>> clear(prog.ops.size());
+
+    for (std::size_t i = 0; i < prog.ops.size(); ++i) {
+        const GenOp &op = prog.ops[i];
+        const TrackedValue &tv = (*tracked)[i];
+        switch (op.kind) {
+          case GenKind::Input: {
+            clear[i] = slotValues(op.valueSeed, slots);
+            RnsPoly pt = enc.encode(clear[i], tv.scale, tv.level);
+            cts[i] = encryptor.encrypt(pt, tv.scale);
+            break;
+          }
+          case GenKind::AddPlain:
+          case GenKind::SubPlain: {
+            // Encoded at the operand's exact level and scale so the
+            // scale-checked addPlain overload accepts it.
+            const TrackedValue &av = (*tracked)[op.a];
+            plainOf[i] = static_cast<int>(plains.size());
+            plains.push_back(enc.encode(slotValues(op.valueSeed, slots),
+                                        av.scale, av.level));
+            break;
+          }
+          case GenKind::MulPlain: {
+            const TrackedValue &av = (*tracked)[op.a];
+            plainOf[i] = static_cast<int>(plains.size());
+            plains.push_back(enc.encode(slotValues(op.valueSeed, slots),
+                                        env.contextScale(), av.level));
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    // ---- Stage 1: execute through the Evaluator between counter
+    //      snapshots; cross-check level/scale after every op. ----
+    ctx.ops().reset();
+    kernelCounters().reset();
+
+    auto fail_at = [&](std::size_t i, const std::string &msg) {
+        res.ok = false;
+        res.failOp = static_cast<int>(i);
+        res.failKind = prog.ops[i].kind;
+        res.failure = "op " + std::to_string(i) + " (" +
+                      genKindName(prog.ops[i].kind) + "): " + msg;
+    };
+
+    for (std::size_t i = 0; i < prog.ops.size() && res.ok; ++i) {
+        const GenOp &op = prog.ops[i];
+        const TrackedValue &tv = (*tracked)[i];
+        switch (op.kind) {
+          case GenKind::Input:
+            break; // pre-encrypted
+          case GenKind::Add:
+            cts[i] = eval.add(cts[op.a], cts[op.b]);
+            for (std::size_t s = 0; s < slots; ++s)
+                clear[i].push_back(clear[op.a][s] + clear[op.b][s]);
+            break;
+          case GenKind::Sub:
+            cts[i] = eval.sub(cts[op.a], cts[op.b]);
+            for (std::size_t s = 0; s < slots; ++s)
+                clear[i].push_back(clear[op.a][s] - clear[op.b][s]);
+            break;
+          case GenKind::AddPlain: {
+            const auto pv = slotValues(op.valueSeed, slots);
+            cts[i] = eval.addPlain(cts[op.a], plains[plainOf[i]],
+                                   (*tracked)[op.a].scale);
+            for (std::size_t s = 0; s < slots; ++s)
+                clear[i].push_back(clear[op.a][s] + pv[s]);
+            break;
+          }
+          case GenKind::SubPlain: {
+            const auto pv = slotValues(op.valueSeed, slots);
+            cts[i] = eval.subPlain(cts[op.a], plains[plainOf[i]],
+                                   (*tracked)[op.a].scale);
+            for (std::size_t s = 0; s < slots; ++s)
+                clear[i].push_back(clear[op.a][s] - pv[s]);
+            break;
+          }
+          case GenKind::MulPlain: {
+            const auto pv = slotValues(op.valueSeed, slots);
+            cts[i] = eval.mulPlain(cts[op.a], plains[plainOf[i]],
+                                   env.contextScale());
+            for (std::size_t s = 0; s < slots; ++s)
+                clear[i].push_back(clear[op.a][s] * pv[s]);
+            break;
+          }
+          case GenKind::Mul:
+            cts[i] = eval.multiply(cts[op.a], cts[op.b], env.relinKey());
+            for (std::size_t s = 0; s < slots; ++s)
+                clear[i].push_back(clear[op.a][s] * clear[op.b][s]);
+            break;
+          case GenKind::Rescale:
+            cts[i] = cts[op.a];
+            eval.rescale(cts[i]);
+            clear[i] = clear[op.a];
+            break;
+          case GenKind::Rotate: {
+            cts[i] = eval.rotate(cts[op.a], op.steps, env.galoisKeys());
+            const long n = static_cast<long>(slots);
+            for (long s = 0; s < n; ++s)
+                clear[i].push_back(
+                    clear[op.a][(s + n + op.steps) % n]);
+            break;
+          }
+          case GenKind::Conjugate:
+            cts[i] = eval.conjugate(cts[op.a], env.galoisKeys());
+            for (std::size_t s = 0; s < slots; ++s)
+                clear[i].push_back(std::conj(clear[op.a][s]));
+            break;
+          case GenKind::LevelDrop:
+            cts[i] = cts[op.a];
+            eval.levelDrop(cts[i], tv.level);
+            clear[i] = clear[op.a];
+            break;
+          case GenKind::ModRaise:
+            cts[i] = eval.modRaise(cts[op.a], tv.level);
+            clear[i] = clear[op.a]; // poisoned; never value-checked
+            break;
+          case GenKind::Output:
+            cts[i] = cts[op.a];
+            clear[i] = clear[op.a];
+            break;
+        }
+        if (op.kind == GenKind::Input || op.kind == GenKind::Output)
+            continue;
+        if (cts[i].level() != tv.level) {
+            fail_at(i, "level tracking mismatch: evaluator " +
+                           std::to_string(cts[i].level()) +
+                           ", tracker " + std::to_string(tv.level));
+        } else if (cts[i].scale != tv.scale) {
+            std::ostringstream os;
+            os.precision(17);
+            os << "scale tracking mismatch: evaluator " << cts[i].scale
+               << ", tracker " << tv.scale;
+            fail_at(i, os.str());
+        }
+    }
+
+    const OpCounter model = ctx.ops();
+    const KernelCounts meas = kernelCounters().snapshot();
+    if (res.ok && (model.polyMults != meas.mults ||
+                   model.polyAdds != meas.adds ||
+                   model.ntts != meas.ntts ||
+                   model.automorphisms != meas.automorphisms)) {
+        res.ok = false;
+        res.failure = describeCounterDiff(model, meas);
+    }
+
+    // ---- Stage 2 (leg a): decrypt every output and bound the error
+    //      against the cleartext slot model. ModRaise programs skip
+    //      this (decrypt is m + k·q0 by design). ----
+    if (res.ok && opts.functional && !mod_raise) {
+        res.functionalRan = true;
+        for (std::size_t i = 0; i < prog.ops.size() && res.ok; ++i) {
+            if (prog.ops[i].kind != GenKind::Output)
+                continue;
+            const Ciphertext &ct = cts[i];
+            const auto got =
+                enc.decode(decryptor.decrypt(ct), ct.scale);
+            double err = 0;
+            for (std::size_t s = 0; s < slots; ++s)
+                err = std::max(err, std::abs(got[s] - clear[i][s]));
+            res.maxError = std::max(res.maxError, err);
+            const double tol = opts.tolScale * 1e-2 *
+                               std::max(1.0, (*tracked)[i].mag);
+            if (err > tol) {
+                std::ostringstream os;
+                os << "decrypt error " << err << " exceeds bound "
+                   << tol;
+                fail_at(i, os.str());
+            }
+        }
+    }
+
+    // ---- Stage 3 (leg c): lower, simulate, verify. ----
+    if (res.ok && opts.structural) {
+        HomBuilder builder("fuzz", ctx.params().logN, env.lMax());
+        std::vector<HomBuilder::Ct> hct(prog.ops.size());
+        for (std::size_t i = 0; i < prog.ops.size() && res.ok; ++i) {
+            const GenOp &op = prog.ops[i];
+            const std::string pid = "p" + std::to_string(i);
+            switch (op.kind) {
+              case GenKind::Input:
+                hct[i] = builder.input((*tracked)[i].level);
+                break;
+              case GenKind::Add:
+              case GenKind::Sub:
+                // Sub lowers as Add: one elementwise pass, identical
+                // instruction shape and cost.
+                hct[i] = builder.add(hct[op.a], hct[op.b]);
+                break;
+              case GenKind::AddPlain:
+              case GenKind::SubPlain:
+                hct[i] = builder.addPlain(hct[op.a], pid);
+                break;
+              case GenKind::MulPlain:
+                hct[i] = builder.mulPlain(hct[op.a], pid, 0);
+                break;
+              case GenKind::Mul:
+                hct[i] = builder.mul(hct[op.a], hct[op.b], 0);
+                break;
+              case GenKind::Rescale:
+                hct[i] = builder.rescale(hct[op.a], 1);
+                break;
+              case GenKind::Rotate:
+                hct[i] = builder.rotate(hct[op.a], op.steps);
+                break;
+              case GenKind::Conjugate:
+                hct[i] = builder.conjugate(hct[op.a]);
+                break;
+              case GenKind::LevelDrop:
+                hct[i] = builder.levelDrop(hct[op.a],
+                                           (*tracked)[i].level);
+                break;
+              case GenKind::ModRaise:
+                hct[i] = builder.modRaise(hct[op.a],
+                                          (*tracked)[i].level);
+                break;
+              case GenKind::Output:
+                builder.output(hct[op.a]);
+                hct[i] = hct[op.a];
+                break;
+            }
+            if (hct[i].level != (*tracked)[i].level) {
+                fail_at(i, "compiler level mismatch: builder " +
+                               std::to_string(hct[i].level) +
+                               ", tracker " +
+                               std::to_string((*tracked)[i].level));
+            }
+        }
+
+        if (res.ok) {
+            const HomProgram hp = builder.take();
+            // Op conservation: every Mul/Rotate/Conjugate is exactly
+            // one keyswitch, nothing else keyswitches.
+            const std::uint64_t want_ksw =
+                hp.countKind(HomOpKind::Mul) +
+                hp.countKind(HomOpKind::Rotate) +
+                hp.countKind(HomOpKind::Conjugate);
+            for (const std::string &name : opts.chipConfigs) {
+                const ChipConfig cfg = ChipConfig::byName(name);
+                Lowering lowering(cfg);
+                const Program vp = lowering.lower(hp);
+                if (lowering.stats().keyswitches != want_ksw) {
+                    res.ok = false;
+                    res.failure =
+                        "keyswitch conservation failed on " + name +
+                        ": lowered " +
+                        std::to_string(lowering.stats().keyswitches) +
+                        ", program has " + std::to_string(want_ksw);
+                    break;
+                }
+                SimStats stats;
+                const VerifyReport report =
+                    verifySchedule(cfg, vp, &stats);
+                res.simCycles = std::max(res.simCycles, stats.cycles);
+                if (!report.ok()) {
+                    res.ok = false;
+                    res.failure = "schedule verification failed on " +
+                                  name + ": " + report.summary(4);
+                    break;
+                }
+            }
+        }
+    }
+
+    return res;
+}
+
+} // namespace cl

@@ -1,6 +1,7 @@
 #include "rnspoly.h"
 
 #include "rns/simd/kernels.h"
+#include "util/instrument.h"
 #include "util/threadpool.h"
 
 namespace cl {
@@ -68,6 +69,7 @@ RnsPoly &
 RnsPoly::operator+=(const RnsPoly &other)
 {
     checkCompatible(other);
+    countAdds(towers());
     const KernelTable &K = kernels();
     parallelFor(
         0, towers(),
@@ -83,6 +85,7 @@ RnsPoly &
 RnsPoly::operator-=(const RnsPoly &other)
 {
     checkCompatible(other);
+    countAdds(towers());
     const KernelTable &K = kernels();
     parallelFor(
         0, towers(),
@@ -99,6 +102,7 @@ RnsPoly::operator*=(const RnsPoly &other)
 {
     checkCompatible(other);
     CL_ASSERT(ntt_, "element-wise multiply requires NTT form");
+    countMults(towers());
     const KernelTable &K = kernels();
     parallelFor(
         0, towers(),
@@ -116,6 +120,8 @@ RnsPoly::addMulAssign(const RnsPoly &a, const RnsPoly &b)
     checkCompatible(b);
     CL_ASSERT(ntt_ && a.ntt_, "fused MAC requires NTT form");
     CL_ASSERT(chain_ == a.chain_, "mixing RNS chains");
+    countMults(towers());
+    countAdds(towers());
 
     // Position map from our chain indices into a's towers (a may span
     // a superset basis; see subset() for the same idiom).
@@ -146,6 +152,7 @@ RnsPoly::addMulAssign(const RnsPoly &a, const RnsPoly &b)
 void
 RnsPoly::negate()
 {
+    countAdds(towers());
     const KernelTable &K = kernels();
     parallelFor(
         0, towers(),
@@ -166,6 +173,7 @@ RnsPoly::mulScalar(u64 s)
 void
 RnsPoly::mulScalarTower(std::size_t t, u64 s)
 {
+    countMults(1);
     const u64 q = modulus(t);
     const ShoupMul m(s % q, q);
     u64 *a = data_.data() + t * n_;
@@ -202,6 +210,11 @@ RnsPoly::rescaleLastTower()
     const u64 ql = modulus(last);
     const u64 *xl = data_.data() + last * n_;
     const u64 half = ql / 2;
+    // One correction pass per kept tower: a centered subtract plus a
+    // Shoup multiply by q_last^-1 (the same mult+add the lowering
+    // models per remaining residue).
+    countMults(last);
+    countAdds(last);
 
     parallelFor(
         0, last,

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "rns/simd/kernels.h"
+#include "util/instrument.h"
 
 namespace cl {
 
@@ -77,6 +78,7 @@ AutomorphismMap::AutomorphismMap(std::size_t n, std::size_t k,
 void
 AutomorphismMap::applyCoeff(const u64 *in, u64 *out, u64 q) const
 {
+    countAutomorphisms(1);
     for (std::size_t i = 0; i < n_; ++i) {
         const u64 v = in[i];
         out[coeffDst_[i]] = coeffNeg_[i] ? (v == 0 ? 0 : q - v) : v;
@@ -86,6 +88,7 @@ AutomorphismMap::applyCoeff(const u64 *in, u64 *out, u64 q) const
 void
 AutomorphismMap::applyNtt(const u64 *in, u64 *out) const
 {
+    countAutomorphisms(1);
     kernels().gatherVec(out, in, nttSrc_.data(), n_);
 }
 

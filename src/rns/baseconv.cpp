@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "rns/simd/kernels.h"
+#include "util/instrument.h"
 #include "util/threadpool.h"
 
 namespace cl {
@@ -85,6 +86,11 @@ BaseConverter::convertKeepScaled(const std::vector<ResidueView> &in,
               " source residues, expected ", ls);
 
     const KernelTable &K = kernels();
+
+    // One Shoup multiply per source tower, then an ls-term MAC row per
+    // destination tower (ls mults + ls accumulates each).
+    countMults(ls + ls * ld);
+    countAdds(ls * ld);
 
     // Step 1: x'_i = x_i * (Q/q_i)^{-1} mod q_i, one worker per
     // source tower.

@@ -2,6 +2,7 @@
 
 #include "rns/primes.h"
 #include "rns/simd/kernels.h"
+#include "util/instrument.h"
 
 namespace cl {
 
@@ -41,6 +42,7 @@ NttTables::NttTables(std::size_t n, u64 q) : n_(n), q_(q)
 void
 NttTables::forward(u64 *a) const
 {
+    countNtts(1);
     // Merged negacyclic Cooley-Tukey with Harvey lazy reduction:
     // operands ride in [0, 4q) between stages, each butterfly does one
     // conditional 2q-subtract plus one lazy Shoup multiply (no final
@@ -80,6 +82,7 @@ NttTables::forward(u64 *a) const
 void
 NttTables::inverse(u64 *a) const
 {
+    countNtts(1);
     // Gentleman-Sande with operands lazily held in [0, 2q); the final
     // N^-1 scaling pass performs the full reduction to [0, q).
     const KernelTable &K = kernels();

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Ground-truth kernel instrumentation: global counters incremented at
+ * the point where work is actually performed (NTT transforms, the
+ * elementwise kernel passes in RnsPoly, base-conversion MACs, and
+ * automorphism gathers), independently of the OpCounter charges the
+ * Evaluator files.
+ *
+ * The OpCounter is an *accounting model* — each Evaluator method
+ * charges what it believes it spends, and those totals feed the
+ * Table 1 / Fig 4 cross-checks. These counters are the *measurement*:
+ * the differential fuzzer (src/fuzz) and the pinned OpCounter tests
+ * assert that model == measurement exactly, so a refactor that changes
+ * what a method really does without updating its charges is caught
+ * immediately.
+ *
+ * ## Unit convention
+ *
+ * One count = one pass over one residue vector (N coefficients):
+ *
+ *  - `ntts`: one forward or inverse NTT of one residue.
+ *  - `mults`: one multiply-class pass — mulModVec, a Shoup multiply,
+ *    the multiply half of a fused MAC, one source row of a
+ *    change-RNS-base inner product, or the scale-correction multiply
+ *    of a rescale.
+ *  - `adds`: one add-class pass — add/sub/negate, the accumulate half
+ *    of a fused MAC, one accumulated row of a change-RNS-base inner
+ *    product, or the subtract pass of a rescale.
+ *  - `automorphisms`: one slot gather/permutation of one residue.
+ *
+ * Increments use relaxed atomics and are amortized (one increment per
+ * tower batch, not per coefficient), so the overhead is noise even on
+ * the hot paths; the counters are always on.
+ */
+
+#ifndef CL_UTIL_INSTRUMENT_H
+#define CL_UTIL_INSTRUMENT_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace cl {
+
+/** Plain-integer snapshot of the kernel counters. */
+struct KernelCounts
+{
+    std::uint64_t ntts = 0;
+    std::uint64_t mults = 0;
+    std::uint64_t adds = 0;
+    std::uint64_t automorphisms = 0;
+
+    friend KernelCounts
+    operator-(const KernelCounts &a, const KernelCounts &b)
+    {
+        return {a.ntts - b.ntts, a.mults - b.mults, a.adds - b.adds,
+                a.automorphisms - b.automorphisms};
+    }
+
+    friend bool operator==(const KernelCounts &,
+                           const KernelCounts &) = default;
+};
+
+/** The global counters (one instance per process). */
+struct KernelCounters
+{
+    std::atomic<std::uint64_t> ntts{0};
+    std::atomic<std::uint64_t> mults{0};
+    std::atomic<std::uint64_t> adds{0};
+    std::atomic<std::uint64_t> automorphisms{0};
+
+    KernelCounts
+    snapshot() const
+    {
+        return {ntts.load(std::memory_order_relaxed),
+                mults.load(std::memory_order_relaxed),
+                adds.load(std::memory_order_relaxed),
+                automorphisms.load(std::memory_order_relaxed)};
+    }
+
+    void
+    reset()
+    {
+        ntts.store(0, std::memory_order_relaxed);
+        mults.store(0, std::memory_order_relaxed);
+        adds.store(0, std::memory_order_relaxed);
+        automorphisms.store(0, std::memory_order_relaxed);
+    }
+};
+
+inline KernelCounters &
+kernelCounters()
+{
+    static KernelCounters counters;
+    return counters;
+}
+
+inline void
+countNtts(std::uint64_t k)
+{
+    kernelCounters().ntts.fetch_add(k, std::memory_order_relaxed);
+}
+
+inline void
+countMults(std::uint64_t k)
+{
+    kernelCounters().mults.fetch_add(k, std::memory_order_relaxed);
+}
+
+inline void
+countAdds(std::uint64_t k)
+{
+    kernelCounters().adds.fetch_add(k, std::memory_order_relaxed);
+}
+
+inline void
+countAutomorphisms(std::uint64_t k)
+{
+    kernelCounters().automorphisms.fetch_add(k, std::memory_order_relaxed);
+}
+
+} // namespace cl
+
+#endif // CL_UTIL_INSTRUMENT_H

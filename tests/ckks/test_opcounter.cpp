@@ -1,0 +1,177 @@
+/**
+ * Pins the Evaluator's OpCounter model against the instrumented
+ * kernel-level counts (util/instrument.h): the accounting the compiler
+ * and cost model rely on must match, operation for operation, what the
+ * kernels actually execute. Also covers the operand scale guards and
+ * the wide-scale encoder path, all originally flushed out by the
+ * differential fuzzer (DESIGN.md §7).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "util/instrument.h"
+
+namespace cl {
+namespace {
+
+class OpCounterTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ctx_ = std::make_unique<CkksContext>(CkksParams::testSmall());
+        enc_ = std::make_unique<CkksEncoder>(*ctx_);
+        keygen_ = std::make_unique<KeyGenerator>(*ctx_);
+        pk_ = keygen_->genPublicKey();
+        encryptor_ = std::make_unique<Encryptor>(*ctx_, pk_);
+        decryptor_ =
+            std::make_unique<Decryptor>(*ctx_, keygen_->secretKey());
+        eval_ = std::make_unique<Evaluator>(*ctx_);
+        relin_ = keygen_->genRelinKey();
+        galois_ = keygen_->genRotationKeys({1}, /*conjugate=*/false);
+    }
+
+    Ciphertext
+    encryptRandom(std::uint64_t seed)
+    {
+        FastRng rng(seed);
+        std::vector<Complex> v(ctx_->slots());
+        for (auto &z : v)
+            z = Complex(rng.nextDouble() * 2 - 1, 0);
+        const double scale = ctx_->params().scale();
+        return encryptor_->encrypt(
+            enc_->encode(v, scale, ctx_->params().l), scale);
+    }
+
+    std::unique_ptr<CkksContext> ctx_;
+    std::unique_ptr<CkksEncoder> enc_;
+    std::unique_ptr<KeyGenerator> keygen_;
+    PublicKey pk_;
+    std::unique_ptr<Encryptor> encryptor_;
+    std::unique_ptr<Decryptor> decryptor_;
+    std::unique_ptr<Evaluator> eval_;
+    SwitchKey relin_;
+    GaloisKeys galois_;
+};
+
+/**
+ * The headline pin: a mult -> rescale -> rotate chain, the shape every
+ * real CKKS circuit is built from, must charge the OpCounter exactly
+ * what the instrumented kernels record. Any drift here means the cost
+ * model silently diverges from the hardware-relevant op counts.
+ */
+TEST_F(OpCounterTest, MultRescaleRotateMatchesInstrumentedKernels)
+{
+    Ciphertext a = encryptRandom(11);
+    Ciphertext b = encryptRandom(22);
+
+    ctx_->ops().reset();
+    kernelCounters().reset();
+
+    Ciphertext prod = eval_->multiply(a, b, relin_);
+    eval_->rescale(prod);
+    Ciphertext rot = eval_->rotate(prod, 1, galois_);
+
+    const OpCounter &model = ctx_->ops();
+    const KernelCounts meas = kernelCounters().snapshot();
+    EXPECT_EQ(model.polyMults, meas.mults);
+    EXPECT_EQ(model.polyAdds, meas.adds);
+    EXPECT_EQ(model.ntts, meas.ntts);
+    EXPECT_EQ(model.automorphisms, meas.automorphisms);
+    // The chain really did something: all four classes were exercised.
+    EXPECT_GT(meas.mults, 0u);
+    EXPECT_GT(meas.adds, 0u);
+    EXPECT_GT(meas.ntts, 0u);
+    EXPECT_GT(meas.automorphisms, 0u);
+}
+
+/** Same pin for the plain-operand path (encode/align + add). */
+TEST_F(OpCounterTest, PlainOpsMatchInstrumentedKernels)
+{
+    Ciphertext a = encryptRandom(33);
+    const double scale = a.scale;
+    std::vector<Complex> ones(ctx_->slots(), Complex(0.5, 0));
+    RnsPoly plain = enc_->encode(ones, scale, ctx_->params().l);
+
+    ctx_->ops().reset();
+    kernelCounters().reset();
+
+    Ciphertext s = eval_->addPlain(a, plain, scale);
+    Ciphertext m = eval_->mulPlain(a, plain, scale);
+    Ciphertext n = eval_->negate(s);
+
+    const OpCounter &model = ctx_->ops();
+    const KernelCounts meas = kernelCounters().snapshot();
+    EXPECT_EQ(model.polyMults, meas.mults);
+    EXPECT_EQ(model.polyAdds, meas.adds);
+    EXPECT_EQ(model.ntts, meas.ntts);
+    EXPECT_EQ(model.automorphisms, meas.automorphisms);
+}
+
+/** Ciphertext-ciphertext add with incompatible scales must assert,
+ *  not silently produce a wrongly-scaled sum. */
+TEST_F(OpCounterTest, AddScaleMismatchDies)
+{
+    Ciphertext a = encryptRandom(44);
+    Ciphertext sq = eval_->square(a, relin_); // scale is now delta^2
+    EXPECT_DEATH(eval_->add(sq, a), "scale mismatch");
+}
+
+/** The scale-checked plain-add overload must reject a plaintext
+ *  encoded at the wrong scale and accept a matching one. */
+TEST_F(OpCounterTest, AddPlainScaleGuard)
+{
+    Ciphertext a = encryptRandom(55);
+    std::vector<Complex> v(ctx_->slots(), Complex(0.25, 0));
+    RnsPoly good = enc_->encode(v, a.scale, ctx_->params().l);
+    Ciphertext ok = eval_->addPlain(a, good, a.scale); // within tol
+    EXPECT_DOUBLE_EQ(ok.scale, a.scale);
+
+    RnsPoly bad = enc_->encode(v, a.scale * 2, ctx_->params().l);
+    EXPECT_DEATH(eval_->addPlain(a, bad, a.scale * 2),
+                 "plaintext scale mismatch");
+}
+
+/**
+ * Regression for the wide-scale encoder overflow the fuzzer found
+ * (tests/fuzz/corpus/encoder-wide-scale-overflow.json): coefficients
+ * at scale 2^80 exceed the old long-long cast's range and every
+ * residue came out garbage. The mantissa-exact reduction must round-
+ * trip through encode/decode with full double precision.
+ */
+TEST_F(OpCounterTest, EncoderWideScaleRoundTrip)
+{
+    FastRng rng(66);
+    std::vector<Complex> v(ctx_->slots());
+    for (auto &z : v)
+        z = Complex(rng.nextDouble() * 2 - 1,
+                    rng.nextDouble() * 2 - 1);
+    const double wide = std::ldexp(1.0, 80); // 2^80 > 2^63
+    RnsPoly p = enc_->encode(v, wide, ctx_->params().l);
+    const auto got = enc_->decode(p, wide);
+    double err = 0;
+    for (std::size_t i = 0; i < v.size(); ++i)
+        err = std::max(err, std::abs(got[i] - v[i]));
+    EXPECT_LT(err, 1e-9);
+}
+
+/**
+ * Regression for the level-drop capacity hazard the fuzzer found
+ * (seed 208): dropping a ciphertext whose scale exceeds the target
+ * basis wraps the message mod Q. The evaluator must refuse.
+ */
+TEST_F(OpCounterTest, LevelDropBelowScaleCapacityDies)
+{
+    Ciphertext a = encryptRandom(77);
+    Ciphertext sq = eval_->square(a, relin_); // scale 2^80
+    EXPECT_DEATH(eval_->levelDrop(sq, 1), "cannot hold scale");
+}
+
+} // namespace
+} // namespace cl

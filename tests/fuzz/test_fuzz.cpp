@@ -1,0 +1,173 @@
+/**
+ * Tests for the differential fuzzing harness (src/fuzz, DESIGN.md §7):
+ * generation determinism, corpus JSON round-tripping, oracle verdict
+ * stability, minimizer idempotence, and clean replay of every pinned
+ * regression in tests/fuzz/corpus/.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "fuzz/fuzzer.h"
+
+namespace cl {
+namespace {
+
+/** One env for the whole binary: key generation dominates setup. */
+FuzzEnv &
+sharedEnv()
+{
+    static FuzzEnv env;
+    return env;
+}
+
+std::string
+readFile(const std::filesystem::path &p)
+{
+    std::ifstream is(p);
+    EXPECT_TRUE(is) << "cannot read " << p;
+    std::stringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+}
+
+/** Same seed, same config -> byte-identical program. */
+TEST(Fuzz, GenerationIsDeterministic)
+{
+    FuzzEnv &env = sharedEnv();
+    const FuzzConfig cfg;
+    for (std::uint64_t seed : {0ULL, 7ULL, 123ULL}) {
+        const GenProgram p1 = generateProgram(env, cfg, seed);
+        const GenProgram p2 = generateProgram(env, cfg, seed);
+        EXPECT_EQ(toJson(p1, ""), toJson(p2, "")) << "seed " << seed;
+        EXPECT_FALSE(p1.ops.empty());
+    }
+}
+
+/** Corpus JSON survives a dump/parse/dump cycle bit-for-bit. */
+TEST(Fuzz, JsonRoundTrip)
+{
+    FuzzEnv &env = sharedEnv();
+    const GenProgram p = generateProgram(env, FuzzConfig{}, 3);
+    const std::string j1 = toJson(p, "some failure text");
+    const GenProgram q = fromJson(j1);
+    EXPECT_EQ(toJson(p, ""), toJson(q, ""));
+}
+
+/** Two oracle runs of the same program agree exactly — verdict and
+ *  measured error — so a pinned corpus verdict is reproducible. */
+TEST(Fuzz, OracleVerdictIsDeterministic)
+{
+    FuzzEnv &env = sharedEnv();
+    const GenProgram p = generateProgram(env, FuzzConfig{}, 5);
+    const OracleResult r1 = runOracle(env, p);
+    const OracleResult r2 = runOracle(env, p);
+    EXPECT_EQ(r1.ok, r2.ok);
+    EXPECT_EQ(r1.failure, r2.failure);
+    EXPECT_EQ(r1.maxError, r2.maxError); // bitwise: same kernels ran
+}
+
+/**
+ * Minimizer reaches a fixed point: re-minimizing an already-minimal
+ * failing program changes nothing. The failure is synthetic — an
+ * absurdly strict error bound makes any program with an output fail —
+ * so the test is independent of which real bugs currently exist.
+ */
+TEST(Fuzz, MinimizerIsIdempotent)
+{
+    FuzzEnv &env = sharedEnv();
+    OracleOptions opts;
+    opts.structural = false;
+    opts.tolScale = 1e-9; // decrypt noise alone exceeds the bound
+    const GenProgram p = generateProgram(env, FuzzConfig{}, 9);
+    ASSERT_FALSE(runOracle(env, p, opts).ok);
+
+    const GenProgram m1 = minimizeProgram(env, p, opts);
+    EXPECT_LE(m1.ops.size(), p.ops.size());
+    EXPECT_FALSE(runOracle(env, m1, opts).ok); // still failing
+    const GenProgram m2 = minimizeProgram(env, m1, opts);
+    EXPECT_EQ(toJson(m1, ""), toJson(m2, ""));
+}
+
+/** Every pinned regression in tests/fuzz/corpus replays clean. */
+TEST(Fuzz, CorpusReplaysClean)
+{
+    FuzzEnv &env = sharedEnv();
+    std::size_t replayed = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(CL_CORPUS_DIR)) {
+        if (entry.path().extension() != ".json")
+            continue;
+        const GenProgram p = fromJson(readFile(entry.path()));
+        const OracleResult res = runOracle(env, p);
+        EXPECT_TRUE(res.ok)
+            << entry.path() << ": " << res.failure;
+        ++replayed;
+    }
+    EXPECT_GT(replayed, 0u) << "corpus directory is empty";
+}
+
+/**
+ * Pin for fuzzer seed 208: a levelDrop chain that carried a 2^80
+ * scale down to the single-tower basis, wrapping the message mod Q.
+ * The legality checker must now reject the program outright (and
+ * Evaluator::levelDrop independently asserts; see
+ * tests/ckks/test_opcounter.cpp).
+ */
+TEST(Fuzz, LevelDropCapacityOverflowIsRejected)
+{
+    static const char *kSeed208Minimal = R"({
+  "seed": "208",
+  "ops": [
+    {"kind": "input", "a": -1, "b": -1, "level": 4, "scaleOf": -1, "steps": 0, "valueSeed": "12585469953200406844"},
+    {"kind": "levelDrop", "a": 0, "b": -1, "level": 0, "scaleOf": -1, "steps": 0, "valueSeed": "0"},
+    {"kind": "mulPlain", "a": 1, "b": -1, "level": 0, "scaleOf": -1, "steps": 0, "valueSeed": "10514817291616508840"},
+    {"kind": "levelDrop", "a": 2, "b": -1, "level": 0, "scaleOf": -1, "steps": 0, "valueSeed": "0"},
+    {"kind": "levelDrop", "a": 3, "b": -1, "level": 0, "scaleOf": -1, "steps": 0, "valueSeed": "0"},
+    {"kind": "output", "a": 4, "b": -1, "level": 0, "scaleOf": -1, "steps": 0, "valueSeed": "0"}
+  ]
+})";
+    FuzzEnv &env = sharedEnv();
+    const GenProgram p = fromJson(kSeed208Minimal);
+    std::string why;
+    EXPECT_FALSE(checkLegal(env, p, &why).has_value());
+    EXPECT_NE(why.find("levelDrop would overflow"), std::string::npos)
+        << why;
+}
+
+/** Short pinned-seed sweep: the full three-way oracle stays green. */
+TEST(Fuzz, SmokeSweep)
+{
+    FuzzEnv &env = sharedEnv();
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+        const GenProgram p = generateProgram(env, FuzzConfig{}, seed);
+        const OracleResult res = runOracle(env, p);
+        EXPECT_TRUE(res.ok) << "seed " << seed << ": " << res.failure;
+    }
+}
+
+/**
+ * The verdict must not depend on the execution backend: re-run a few
+ * seeds through the CLI under a pinned thread count and the scalar
+ * SIMD kernels and require the same green verdict the in-process
+ * sweep above produced. Spawns the fuzz_hom tool, so it is skipped if
+ * the binary is missing (e.g. a test-only build).
+ */
+TEST(Fuzz, VerdictStableAcrossBackends)
+{
+    if (!std::filesystem::exists(CL_FUZZ_HOM))
+        GTEST_SKIP() << CL_FUZZ_HOM << " not built";
+    const std::string base = std::string("\"") + CL_FUZZ_HOM +
+                             "\" --seeds 0..3 >/dev/null 2>&1";
+    EXPECT_EQ(std::system(
+                  ("CL_THREADS=1 CL_SIMD=scalar " + base).c_str()),
+              0);
+    EXPECT_EQ(std::system(("CL_THREADS=3 " + base).c_str()), 0);
+}
+
+} // namespace
+} // namespace cl

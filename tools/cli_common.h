@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared helpers for the developer CLIs: security-level selection,
+ * the named-configuration list, and the benchmark/config listing that
+ * every tool's usage text embeds. One definition keeps the tools'
+ * error behavior identical — an unknown name always dies listing the
+ * valid choices.
+ */
+
+#ifndef CL_TOOLS_CLI_COMMON_H
+#define CL_TOOLS_CLI_COMMON_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workloads/benchmarks.h"
+
+namespace cl {
+
+/** SecurityConfig from a --security bits value; fatal on anything
+ *  other than 80/128/200. */
+inline SecurityConfig
+securityByBits(unsigned bits)
+{
+    switch (bits) {
+      case 80: return SecurityConfig::bits80();
+      case 128: return SecurityConfig::bits128();
+      case 200: return SecurityConfig::bits200();
+    }
+    CL_FATAL("unknown security level ", bits, "; use 80/128/200");
+}
+
+/** The named chip configurations "--config all" expands to. */
+inline const std::vector<std::string> &
+allConfigNames()
+{
+    static const std::vector<std::string> names = {
+        "craterlake", "no-kshgen", "no-crb", "crossbar", "f1plus",
+    };
+    return names;
+}
+
+/** The benchmark/config listing shared by every tool's usage text. */
+inline void
+printBenchmarksAndConfigs()
+{
+    std::printf("benchmarks:");
+    for (const std::string &n : benchmarkNames())
+        std::printf(" %s", n.c_str());
+    std::printf("\nconfigs: craterlake craterlake-128k no-kshgen "
+                "no-crb crossbar f1plus rf<MB>\n");
+}
+
+} // namespace cl
+
+#endif // CL_TOOLS_CLI_COMMON_H

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Differential fuzzing CLI (DESIGN.md §7). Runs the three-way oracle
+ * over seeded random homomorphic programs:
+ *
+ *   fuzz_hom --seeds 0..500                  # fixed seed range
+ *   fuzz_hom --time-budget 60                # random sweep for 60 s
+ *   fuzz_hom --seeds 0..100 --boot           # include ModRaise ops
+ *   fuzz_hom --replay tests/fuzz/corpus/x.json
+ *
+ * On the first failure the seed is reported, the program is (with
+ * --minimize) shrunk to a minimal failing program, and (with --json)
+ * dumped in the corpus format so it can be pinned as a regression
+ * test. Exits non-zero on any failure.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cli_common.h"
+#include "fuzz/fuzzer.h"
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "usage: fuzz_hom [options]\n"
+        "  --seeds A..B       run seeds A through B inclusive "
+        "(default: 0..99)\n"
+        "  --time-budget S    keep drawing random seeds for S seconds\n"
+        "  --config NAME      chip configuration for the structural "
+        "leg,\n"
+        "                     or 'all' (default: craterlake)\n"
+        "  --ops N            target ops per program (default: 24)\n"
+        "  --boot             also place bootstrap-entry ModRaise ops\n"
+        "  --no-functional    skip the decrypt-check leg\n"
+        "  --no-structural    skip the lower/simulate/verify leg\n"
+        "  --minimize         shrink the first failing program\n"
+        "  --json FILE        dump the (minimized) failure as corpus "
+        "JSON\n"
+        "  --replay FILE      replay one corpus file instead of "
+        "generating\n"
+        "configs: craterlake craterlake-128k no-kshgen no-crb crossbar "
+        "f1plus rf<MB>\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace cl;
+
+    std::uint64_t seed_lo = 0, seed_hi = 99;
+    double time_budget = 0;
+    std::string json_path, replay_path;
+    bool minimize = false;
+    FuzzConfig fcfg;
+    OracleOptions opts;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--seeds") {
+            const std::string v = value();
+            const auto dots = v.find("..");
+            if (dots == std::string::npos) {
+                seed_lo = 0;
+                seed_hi = std::stoull(v) - 1;
+            } else {
+                seed_lo = std::stoull(v.substr(0, dots));
+                seed_hi = std::stoull(v.substr(dots + 2));
+            }
+        } else if (arg == "--time-budget") {
+            time_budget = std::stod(value());
+        } else if (arg == "--config") {
+            const std::string v = value();
+            opts.chipConfigs =
+                v == "all" ? allConfigNames()
+                           : std::vector<std::string>{v};
+        } else if (arg == "--ops") {
+            fcfg.maxOps = static_cast<unsigned>(std::stoul(value()));
+        } else if (arg == "--boot") {
+            fcfg.allowModRaise = true;
+            fcfg.weights[static_cast<std::size_t>(GenKind::ModRaise)] =
+                2;
+        } else if (arg == "--no-functional") {
+            opts.functional = false;
+        } else if (arg == "--no-structural") {
+            opts.structural = false;
+        } else if (arg == "--minimize") {
+            minimize = true;
+        } else if (arg == "--json") {
+            json_path = value();
+        } else if (arg == "--replay") {
+            replay_path = value();
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    FuzzEnv env;
+
+    auto report_failure = [&](const GenProgram &prog,
+                              const OracleResult &res) {
+        std::printf("FAIL seed=%llu ops=%zu: %s\n",
+                    static_cast<unsigned long long>(prog.seed),
+                    prog.ops.size(), res.failure.c_str());
+        GenProgram pinned = prog;
+        if (minimize) {
+            pinned = minimizeProgram(env, prog, opts);
+            const OracleResult mres = runOracle(env, pinned, opts);
+            std::printf("minimized to %zu op(s): %s\n",
+                        pinned.ops.size(), mres.failure.c_str());
+        }
+        if (!json_path.empty()) {
+            std::ofstream os(json_path);
+            if (!os)
+                CL_FATAL("cannot write ", json_path);
+            os << toJson(pinned, runOracle(env, pinned, opts).failure);
+            std::printf("wrote %s\n", json_path.c_str());
+        }
+    };
+
+    if (!replay_path.empty()) {
+        std::ifstream is(replay_path);
+        if (!is)
+            CL_FATAL("cannot read ", replay_path);
+        std::stringstream ss;
+        ss << is.rdbuf();
+        const GenProgram prog = fromJson(ss.str());
+        const OracleResult res = runOracle(env, prog, opts);
+        if (!res.ok) {
+            report_failure(prog, res);
+            return 1;
+        }
+        std::printf("OK %s: %zu op(s), max decrypt error %.3g\n",
+                    replay_path.c_str(), prog.ops.size(), res.maxError);
+        return 0;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto elapsed = [&]() {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+
+    std::uint64_t ran = 0, functional = 0;
+    double worst_err = 0;
+    std::uint64_t seed = seed_lo;
+    FastRng sweep_rng(
+        static_cast<std::uint64_t>(t0.time_since_epoch().count()));
+    while (true) {
+        if (time_budget > 0) {
+            if (elapsed() >= time_budget)
+                break;
+            seed = sweep_rng.next64();
+        } else if (ran > 0 && seed == seed_hi + 1) {
+            break;
+        }
+        const GenProgram prog = generateProgram(env, fcfg, seed);
+        const OracleResult res = runOracle(env, prog, opts);
+        ++ran;
+        functional += res.functionalRan ? 1 : 0;
+        worst_err = std::max(worst_err, res.maxError);
+        if (!res.ok) {
+            report_failure(prog, res);
+            return 1;
+        }
+        if (time_budget == 0)
+            ++seed;
+    }
+
+    std::printf("OK: %llu program(s), %llu with decrypt checks, worst "
+                "decrypt error %.3g, %.1fs\n",
+                static_cast<unsigned long long>(ran),
+                static_cast<unsigned long long>(functional), worst_err,
+                elapsed());
+    return 0;
+}

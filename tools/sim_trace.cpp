@@ -17,9 +17,9 @@
 #include <sstream>
 #include <string>
 
+#include "cli_common.h"
 #include "core/craterlake.h"
 #include "sim/trace.h"
-#include "workloads/benchmarks.h"
 
 namespace {
 
@@ -33,11 +33,7 @@ usage()
         "  --out DIR        output directory (default: .)\n"
         "  --top K          stalled instructions listed (default: 10)\n"
         "  --list           print benchmark slugs and exit\n");
-    std::printf("benchmarks:");
-    for (const std::string &n : cl::benchmarkNames())
-        std::printf(" %s", n.c_str());
-    std::printf("\nconfigs: craterlake craterlake-128k no-kshgen "
-                "no-crb crossbar f1plus rf<MB>\n");
+    cl::printBenchmarksAndConfigs();
 }
 
 std::string
@@ -99,14 +95,7 @@ main(int argc, char **argv)
         return 2;
     }
 
-    SecurityConfig sec = SecurityConfig::bits80();
-    if (security == 128)
-        sec = SecurityConfig::bits128();
-    else if (security == 200)
-        sec = SecurityConfig::bits200();
-    else if (security != 80)
-        CL_FATAL("unknown security level ", security, "; use 80/128/200");
-
+    const SecurityConfig sec = securityByBits(security);
     const ChipConfig cfg = ChipConfig::byName(config_name);
     const HomProgram hp = benchmarkByName(bench_name, sec);
 

@@ -16,11 +16,11 @@
 #include <string>
 #include <vector>
 
+#include "cli_common.h"
 #include "compiler/lower.h"
 #include "sim/simulator.h"
 #include "verify/faults.h"
 #include "verify/verifier.h"
-#include "workloads/benchmarks.h"
 
 namespace {
 
@@ -36,16 +36,8 @@ usage()
         "and\n"
         "                     require every mutation to be caught\n"
         "  --list             print benchmark slugs and exit\n");
-    std::printf("benchmarks:");
-    for (const std::string &n : cl::benchmarkNames())
-        std::printf(" %s", n.c_str());
-    std::printf("\nconfigs: craterlake craterlake-128k no-kshgen "
-                "no-crb crossbar f1plus rf<MB>\n");
+    cl::printBenchmarksAndConfigs();
 }
-
-const std::vector<std::string> kAllConfigs = {
-    "craterlake", "no-kshgen", "no-crb", "crossbar", "f1plus",
-};
 
 } // namespace
 
@@ -90,19 +82,13 @@ main(int argc, char **argv)
         }
     }
 
-    SecurityConfig sec = SecurityConfig::bits80();
-    if (security == 128)
-        sec = SecurityConfig::bits128();
-    else if (security == 200)
-        sec = SecurityConfig::bits200();
-    else if (security != 80)
-        CL_FATAL("unknown security level ", security, "; use 80/128/200");
+    const SecurityConfig sec = securityByBits(security);
 
     const std::vector<std::string> benches =
         bench_name == "all" ? benchmarkNames()
                             : std::vector<std::string>{bench_name};
     const std::vector<std::string> configs =
-        config_name == "all" ? kAllConfigs
+        config_name == "all" ? allConfigNames()
                              : std::vector<std::string>{config_name};
 
     unsigned failures = 0, runs = 0, injected = 0;
