@@ -612,6 +612,8 @@ Lowering::lower(const HomProgram &hp)
     }
 
     prog.validate();
+    if (schedule_ != ScheduleMode::None)
+        prog = scheduleProgram(prog, cfg_, schedule_, &schedStats_);
     return prog;
 }
 

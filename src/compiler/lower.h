@@ -15,6 +15,7 @@
 #define CL_COMPILER_LOWER_H
 
 #include "compiler/homprogram.h"
+#include "compiler/schedule.h"
 #include "hw/config.h"
 
 namespace cl {
@@ -32,16 +33,27 @@ struct LowerStats
 class Lowering
 {
   public:
-    explicit Lowering(ChipConfig cfg) : cfg_(std::move(cfg)) {}
+    explicit Lowering(ChipConfig cfg,
+                      ScheduleMode schedule = ScheduleMode::None)
+        : cfg_(std::move(cfg)), schedule_(schedule)
+    {
+    }
 
-    /** Translate a homomorphic program into a vector program. */
+    /** Translate a homomorphic program into a vector program; under
+     *  ScheduleMode::List the emitted order is then rewritten by the
+     *  list scheduler (compiler/schedule.h). */
     Program lower(const HomProgram &hp);
 
     const LowerStats &stats() const { return stats_; }
 
+    /** Filled by lower() when scheduling ran (zeros under None). */
+    const ScheduleStats &scheduleStats() const { return schedStats_; }
+
   private:
     ChipConfig cfg_;
+    ScheduleMode schedule_;
     LowerStats stats_;
+    ScheduleStats schedStats_;
 };
 
 } // namespace cl

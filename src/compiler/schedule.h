@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Static instruction scheduling for lowered programs (Sec 6).
+ *
+ * The accelerator issues in order, so instruction order alone decides
+ * how much the FU pools overlap, how long live ranges stay resident,
+ * and how often the Belady manager spills. Lowering emits
+ * instructions in naive HomProgram order, which serializes each
+ * keyswitch chain on its own operand stalls while independent
+ * pipelines sit idle behind it. The list scheduler here reorders a
+ * lowered Program into any legal topological order of its dependence
+ * graph, picking at every step the ready instruction that can issue
+ * soonest on a resource model of the chip — which naturally
+ * interleaves independent keyswitch pipelines across the NTT / MAC /
+ * mod-down pools — with critical-path height as the tie-break and a
+ * register-pressure lookahead that prefers live-range-shrinking
+ * instructions once the modeled resident set nears capacity.
+ *
+ * Output is deterministic: every comparison bottoms out in the
+ * instruction id, no timestamps or host state are consulted, and the
+ * pass is single-threaded, so the scheduled program is byte-identical
+ * across platforms and CL_THREADS settings.
+ */
+
+#ifndef CL_COMPILER_SCHEDULE_H
+#define CL_COMPILER_SCHEDULE_H
+
+#include "hw/config.h"
+#include "isa/program.h"
+
+namespace cl {
+
+/** Scheduling policy applied to a lowered Program. */
+enum class ScheduleMode
+{
+    None, ///< Keep the lowering emission order.
+    List  ///< Dependence-graph list scheduling (see file header).
+};
+
+const char *scheduleModeName(ScheduleMode m);
+
+/** Parse a --schedule CLI value ("none"/"list"); fatal on anything
+ *  else, listing the valid choices. */
+ScheduleMode scheduleModeByName(const std::string &name);
+
+/** Statistics of one scheduling run, for reports and tests. */
+struct ScheduleStats
+{
+    std::size_t depEdges = 0; ///< Deduplicated dependence edges.
+    std::size_t moved = 0;    ///< Instructions not at their old slot.
+    /** Duration-weighted longest path through the dependence graph —
+     *  a lower bound on any legal schedule's span. */
+    std::uint64_t criticalPathCycles = 0;
+};
+
+/**
+ * Reorder @p prog under @p mode. ScheduleMode::None returns the
+ * program unchanged. The result contains the same values and the
+ * same instructions (new ids in issue order); per-value
+ * producer/consumer links — the Belady manager's future-use
+ * information — are rebuilt to match the scheduled order.
+ */
+Program scheduleProgram(const Program &prog, const ChipConfig &cfg,
+                        ScheduleMode mode,
+                        ScheduleStats *stats = nullptr);
+
+} // namespace cl
+
+#endif // CL_COMPILER_SCHEDULE_H

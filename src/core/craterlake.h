@@ -34,7 +34,11 @@ struct RunResult
 class Accelerator
 {
   public:
-    explicit Accelerator(ChipConfig cfg) : cfg_(std::move(cfg)) {}
+    explicit Accelerator(ChipConfig cfg,
+                         ScheduleMode schedule = ScheduleMode::None)
+        : cfg_(std::move(cfg)), schedule_(schedule)
+    {
+    }
 
     const ChipConfig &config() const { return cfg_; }
 
@@ -42,7 +46,7 @@ class Accelerator
     RunResult
     execute(const HomProgram &hp) const
     {
-        Lowering lower(cfg_);
+        Lowering lower(cfg_, schedule_);
         Program prog = lower.lower(hp);
         Simulator sim(cfg_);
         RunResult r;
@@ -56,6 +60,7 @@ class Accelerator
 
   private:
     ChipConfig cfg_;
+    ScheduleMode schedule_ = ScheduleMode::None;
 };
 
 /**

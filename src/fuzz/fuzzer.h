@@ -37,6 +37,7 @@
 
 #include "ckks/encryptor.h"
 #include "ckks/evaluator.h"
+#include "compiler/schedule.h"
 
 namespace cl {
 
@@ -179,6 +180,11 @@ struct OracleOptions
     bool functional = true;  ///< Leg (a): execute + decrypt check.
     bool structural = true;  ///< Leg (c): lower/simulate/verify.
     std::vector<std::string> chipConfigs = {"craterlake"};
+
+    /** Schedule modes the structural leg lowers under. Each mode is
+     *  a separate lower/simulate/verify pass, so {None, List} runs
+     *  the scheduler differentially against the emission order. */
+    std::vector<ScheduleMode> scheduleModes = {ScheduleMode::None};
 
     /** Multiplier on the decrypt-error bound. 1.0 for real runs; tests
      *  shrink it to force synthetic failures (e.g. to exercise the

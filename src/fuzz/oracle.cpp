@@ -317,27 +317,37 @@ runOracle(const FuzzEnv &env, const GenProgram &prog,
                 hp.countKind(HomOpKind::Conjugate);
             for (const std::string &name : opts.chipConfigs) {
                 const ChipConfig cfg = ChipConfig::byName(name);
-                Lowering lowering(cfg);
-                const Program vp = lowering.lower(hp);
-                if (lowering.stats().keyswitches != want_ksw) {
-                    res.ok = false;
-                    res.failure =
-                        "keyswitch conservation failed on " + name +
-                        ": lowered " +
-                        std::to_string(lowering.stats().keyswitches) +
-                        ", program has " + std::to_string(want_ksw);
-                    break;
+                for (ScheduleMode mode : opts.scheduleModes) {
+                    const std::string where =
+                        name + "/" + scheduleModeName(mode);
+                    Lowering lowering(cfg, mode);
+                    const Program vp = lowering.lower(hp);
+                    if (lowering.stats().keyswitches != want_ksw) {
+                        res.ok = false;
+                        res.failure =
+                            "keyswitch conservation failed on " +
+                            where + ": lowered " +
+                            std::to_string(
+                                lowering.stats().keyswitches) +
+                            ", program has " +
+                            std::to_string(want_ksw);
+                        break;
+                    }
+                    SimStats stats;
+                    const VerifyReport report =
+                        verifySchedule(cfg, vp, &stats);
+                    res.simCycles =
+                        std::max(res.simCycles, stats.cycles);
+                    if (!report.ok()) {
+                        res.ok = false;
+                        res.failure =
+                            "schedule verification failed on " +
+                            where + ": " + report.summary(4);
+                        break;
+                    }
                 }
-                SimStats stats;
-                const VerifyReport report =
-                    verifySchedule(cfg, vp, &stats);
-                res.simCycles = std::max(res.simCycles, stats.cycles);
-                if (!report.ok()) {
-                    res.ok = false;
-                    res.failure = "schedule verification failed on " +
-                                  name + ": " + report.summary(4);
+                if (!res.ok)
                     break;
-                }
             }
         }
     }

@@ -159,8 +159,14 @@ Simulator::run(const Program &prog, TraceSink *trace)
             const std::uint32_t victim = it->second;
             const std::uint32_t victim_use = it->first;
             const Value &v = prog.values[victim];
-            if (res[victim].dirty && victim_use != noUse) {
-                // Spill a still-live intermediate.
+            if (res[victim].dirty) {
+                // Spill a still-live intermediate. A dirty victim
+                // with no next use is one the program never reads:
+                // its bits exist nowhere off-chip, so dropping it
+                // without writeback would silently discard a result
+                // (and under-charge store traffic). Consumed-out
+                // intermediates never reach this path dirty — retire
+                // dead-frees them the moment their last reader runs.
                 stats.intermStoreWords += v.words;
                 const std::uint64_t dur =
                     static_cast<std::uint64_t>(v.words / mem_bw) + 1;
@@ -169,7 +175,7 @@ Simulator::run(const Program &prog, TraceSink *trace)
                 memFreeAt += dur;
                 stats.memBusyCycles += dur;
             } else {
-                // Clean (or dead) copy: dropped without writeback.
+                // Clean copy: dropped without writeback.
                 note(ResidencyAction::Evict, victim, memFreeAt,
                      memFreeAt);
             }

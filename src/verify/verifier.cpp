@@ -41,6 +41,8 @@ violationKindName(ViolationKind k)
         return "rf-capacity-exceeded";
       case ViolationKind::ResidencyConservation:
         return "residency-conservation";
+      case ViolationKind::ConsumerOrder:
+        return "consumer-order";
       case ViolationKind::AccountingMismatch:
         return "accounting-mismatch";
       default:
@@ -254,6 +256,42 @@ ScheduleVerifier::verify(const std::vector<InstTrace> &insts,
         }
         for (std::uint32_t vid : pi.writes)
             last_writer[vid] = static_cast<std::int64_t>(i);
+    }
+
+    // --- 1c. Value links must match the instruction stream. --------
+    // The simulator's Belady RF manager walks values[].consumers as
+    // its future-use oracle, trusting that the list is sorted in
+    // issue order with one entry per read occurrence, and that
+    // values[].producer names the last writer. Rebuild both from the
+    // instructions and flag any drift (a scheduler that reorders
+    // without rebuilding the links leaves the oracle lying).
+    {
+        std::vector<std::vector<std::uint32_t>> want_cons(
+            prog_.values.size());
+        std::vector<std::int64_t> want_prod(prog_.values.size(), -1);
+        for (const PolyInst &pi : prog_.insts) {
+            for (std::uint32_t vid : pi.reads)
+                want_cons[vid].push_back(pi.id);
+            for (std::uint32_t vid : pi.writes)
+                want_prod[vid] = pi.id;
+        }
+        for (std::size_t vid = 0; vid < prog_.values.size(); ++vid) {
+            const Value &v = prog_.values[vid];
+            if (v.consumers != want_cons[vid]) {
+                add.add(ViolationKind::ConsumerOrder, -1,
+                        static_cast<std::int64_t>(vid),
+                        "consumer list (", v.consumers.size(),
+                        " entries) does not match the ",
+                        want_cons[vid].size(),
+                        " reads in instruction order");
+            }
+            if (v.producer != want_prod[vid]) {
+                add.add(ViolationKind::ConsumerOrder, -1,
+                        static_cast<std::int64_t>(vid), "producer ",
+                        v.producer, " is not the last writer ",
+                        want_prod[vid]);
+            }
+        }
     }
 
     // --- 2a. FU pools and register-file ports (interval sweeps). ---

@@ -23,7 +23,13 @@
  *     serialized and sized exactly to the HBM bandwidth, and the
  *     replayed register-file resident set within capacity with every
  *     load/alloc/spill/evict/free conserving it.
- *  3. **Traffic conservation** — per-value transfer words summed from
+ *  3. **Future-use coherence** — the per-value producer/consumer
+ *     links (the information the Belady register-file manager keys
+ *     its eviction decisions on) must match the instruction stream
+ *     exactly, in issue order: a scheduler that reorders
+ *     instructions without rebuilding the links would silently feed
+ *     the RF manager stale futures.
+ *  4. **Traffic conservation** — per-value transfer words summed from
  *     the event stream must equal every SimStats counter (the six
  *     Fig 10a categories, memory busy cycles, per-FU busy unit-cycles
  *     and lane-ops, network words, RF access words, and the final
@@ -63,6 +69,7 @@ enum class ViolationKind
     MemBandwidth,         ///< Transfer window off its bandwidth size.
     RfCapacityExceeded,   ///< Replayed resident set exceeds capacity.
     ResidencyConservation,///< Load/spill/free inconsistent with state.
+    ConsumerOrder,        ///< Value links disagree with inst order.
     AccountingMismatch,   ///< A SimStats counter != the event sum.
 };
 

@@ -210,7 +210,10 @@ TEST(Simulator, DirtyIntermediateSpills)
 
     Simulator sim(cfg);
     auto stats = sim.run(p);
-    EXPECT_EQ(stats.intermStoreWords, big);
+    // t1 spills when k arrives; t2 — dirty and never read again —
+    // is also written back when t1 is reloaded (its bits exist
+    // nowhere off-chip, so dropping it would discard a result).
+    EXPECT_EQ(stats.intermStoreWords, big + 16);
     EXPECT_EQ(stats.intermLoadWords, big);
 }
 
@@ -392,11 +395,12 @@ TEST(Simulator, RegressionPinOutputStore)
 
 TEST(Simulator, RegressionPinSpillReload)
 {
-    // 4096-word register file. i0 loads in(256), produces t1(2560,
-    // dirty). i1 needs k(2560): evicts in (clean) then spills t1
-    // (11 cy), loads k (11 cy). i2 rereads t1: evicts the dead t2 and
-    // the exhausted k, reloads t1 (11 cy). Timeline: ready 24 at i1
-    // (memFreeAt after spill+load), ready 35 at i2; finish 45.
+    // 4096-word register file. i0 loads in(256, 2 cy), produces
+    // t1(2560, dirty). i1 needs k(2560): evicts in (clean) then
+    // spills t1 (2-13), loads k (13-24). i2 rereads t1: spills t2 —
+    // dirty and never consumed, so its bits must be written back
+    // (24-26) — evicts the exhausted k (clean), reloads t1 (26-37).
+    // Timeline: ready 24 at i1, ready 37 at i2; finish 47.
     Program p;
     p.n = 1 << 16;
     const auto in = p.addValue(ValueKind::Input, 256, "in");
@@ -410,20 +414,23 @@ TEST(Simulator, RegressionPinSpillReload)
 
     Simulator sim(exactConfig(4096));
     const SimStats stats = sim.run(p);
-    EXPECT_EQ(stats.cycles, 45u);
+    EXPECT_EQ(stats.cycles, 47u);
     EXPECT_EQ(stats.inputLoadWords, 256u);
     EXPECT_EQ(stats.kshLoadWords, 2560u);
-    EXPECT_EQ(stats.intermStoreWords, 2560u); // t1 spill
+    EXPECT_EQ(stats.intermStoreWords, 2816u); // t1 + t2 spills
     EXPECT_EQ(stats.intermLoadWords, 2560u);  // t1 reload
     EXPECT_EQ(stats.outputStoreWords, 0u);
-    EXPECT_EQ(stats.memBusyCycles, 35u);
+    EXPECT_EQ(stats.memBusyCycles, 37u);
     EXPECT_EQ(stats.fuBusy[static_cast<unsigned>(FuType::Add)], 30u);
 }
 
 TEST(Simulator, RegressionPinStreaming)
 {
     // 1024-word register file, 2560-word operand: never fits, streams
-    // on both uses (11 cy each on the memory channel).
+    // on both uses (11 cy each on the memory channel). use1's
+    // make_room empties the RF before falling back to streaming,
+    // which flushes o0 — dirty and never read, so written back
+    // (256 words, 2 cy) rather than silently dropped.
     Program p;
     p.n = 1 << 16;
     const auto S = p.addValue(ValueKind::Input, 2560, "S");
@@ -434,12 +441,44 @@ TEST(Simulator, RegressionPinStreaming)
 
     Simulator sim(exactConfig(1024));
     const SimStats stats = sim.run(p);
-    EXPECT_EQ(stats.cycles, 32u);
+    EXPECT_EQ(stats.cycles, 34u);
     EXPECT_EQ(stats.inputLoadWords, 5120u); // streamed twice
     EXPECT_EQ(stats.intermLoadWords, 0u);
-    EXPECT_EQ(stats.intermStoreWords, 0u); // results fit
+    EXPECT_EQ(stats.intermStoreWords, 256u); // o0 written back
     EXPECT_EQ(stats.outputStoreWords, 0u);
-    EXPECT_EQ(stats.memBusyCycles, 22u);
+    EXPECT_EQ(stats.memBusyCycles, 24u);
+}
+
+TEST(Simulator, RegressionPinDeadDirtyWriteback)
+{
+    // A dirty intermediate with *no* remaining use still owns the
+    // only copy of its bits: evicting it must write it back, not
+    // silently drop it. (The original make_room skipped the
+    // writeback whenever next_use == noUse, so a program whose
+    // result was computed but never re-read lost the data and
+    // under-charged store traffic.)
+    //
+    // 4096-word RF. i0 loads in(256, 0-2), produces t1(2560, dirty,
+    // never read again). i1 needs k(2560): in alone is too small to
+    // free, so t1 is the victim — spilled 2-13, k loads 13-24,
+    // ready 24, finish 34.
+    Program p;
+    p.n = 1 << 16;
+    const auto in = p.addValue(ValueKind::Input, 256, "in");
+    const auto t1 = p.addValue(ValueKind::Intermediate, 2560, "t1");
+    const auto k = p.addValue(ValueKind::KeySwitchHint, 2560, "k");
+    const auto t2 = p.addValue(ValueKind::Intermediate, 256, "t2");
+    p.addInst(simpleInst({in}, {t1}, "produce"));
+    p.addInst(simpleInst({k}, {t2}, "other"));
+
+    Simulator sim(exactConfig(4096));
+    const SimStats stats = sim.run(p);
+    EXPECT_EQ(stats.cycles, 34u);
+    EXPECT_EQ(stats.inputLoadWords, 256u);
+    EXPECT_EQ(stats.kshLoadWords, 2560u);
+    EXPECT_EQ(stats.intermStoreWords, 2560u); // t1 written back
+    EXPECT_EQ(stats.intermLoadWords, 0u);
+    EXPECT_EQ(stats.memBusyCycles, 24u);
 }
 
 TEST(Simulator, RegressionPinInPlaceRmw)
@@ -471,12 +510,13 @@ TEST(Simulator, RegressionPinSpilledProducerGatesConsumer)
 {
     // Same shape as RegressionPinSpillReload but the producer runs
     // 1000 cycles. Its result t1 is spilled (memory timeline, cycles
-    // 2-13) and reloaded (24-35) long before the producer finishes at
-    // 1002 — the transfers only move the *space*; the data exists at
-    // the producer's finish. The consumer must start at
-    // max(reload done, producer finish) = 1002, not 35. (Before the
-    // fix, ensure_resident returned the pure memory-timeline time and
-    // the consumer read its operand 967 cycles before it was written.)
+    // 2-13) and reloaded (26-37, after t2's writeback) long before
+    // the producer finishes at 1002 — the transfers only move the
+    // *space*; the data exists at the producer's finish. The consumer
+    // must start at max(reload done, producer finish) = 1002, not 37.
+    // (Before the fix, ensure_resident returned the pure
+    // memory-timeline time and the consumer read its operand
+    // hundreds of cycles before it was written.)
     Program p;
     p.n = 1 << 16;
     const auto in = p.addValue(ValueKind::Input, 256, "in");
@@ -492,14 +532,14 @@ TEST(Simulator, RegressionPinSpilledProducerGatesConsumer)
 
     Simulator sim(exactConfig(4096));
     const SimStats stats = sim.run(p);
-    // consume: operands at max(35, 1002) = 1002, finish 1012.
+    // consume: operands at max(37, 1002) = 1002, finish 1012.
     EXPECT_EQ(stats.cycles, 1012u);
     // Traffic is unchanged from the short-producer variant.
     EXPECT_EQ(stats.inputLoadWords, 256u);
     EXPECT_EQ(stats.kshLoadWords, 2560u);
-    EXPECT_EQ(stats.intermStoreWords, 2560u);
+    EXPECT_EQ(stats.intermStoreWords, 2816u);
     EXPECT_EQ(stats.intermLoadWords, 2560u);
-    EXPECT_EQ(stats.memBusyCycles, 35u);
+    EXPECT_EQ(stats.memBusyCycles, 37u);
     EXPECT_EQ(stats.fuBusy[static_cast<unsigned>(FuType::Add)], 1020u);
 }
 

@@ -37,6 +37,9 @@ usage()
         "leg,\n"
         "                     or 'all' (default: craterlake)\n"
         "  --ops N            target ops per program (default: 24)\n"
+        "  --schedule MODE    none, list or both: schedule mode(s) "
+        "for\n"
+        "                     the structural leg (default: none)\n"
         "  --boot             also place bootstrap-entry ModRaise ops\n"
         "  --no-functional    skip the decrypt-check leg\n"
         "  --no-structural    skip the lower/simulate/verify leg\n"
@@ -93,6 +96,14 @@ main(int argc, char **argv)
                            : std::vector<std::string>{v};
         } else if (arg == "--ops") {
             fcfg.maxOps = static_cast<unsigned>(std::stoul(value()));
+        } else if (arg == "--schedule") {
+            const std::string v = value();
+            opts.scheduleModes =
+                v == "both"
+                    ? std::vector<ScheduleMode>{ScheduleMode::None,
+                                                ScheduleMode::List}
+                    : std::vector<ScheduleMode>{
+                          scheduleModeByName(v)};
         } else if (arg == "--boot") {
             fcfg.allowModRaise = true;
             fcfg.weights[static_cast<std::size_t>(GenKind::ModRaise)] =

@@ -9,6 +9,11 @@
  *
  * The report is also printed to stdout. BENCH_sim.json is the
  * regression-comparable artifact perf PRs diff against.
+ *
+ * --matrix replaces the single run with the full snapshot sweep: all
+ * workload benchmarks x {craterlake, f1plus} x {none, list} schedule
+ * modes, written as one BENCH_sim.json with an "entries" array (no
+ * per-run trace files). That file is the pinned, committed form.
  */
 
 #include <cstdio>
@@ -28,10 +33,15 @@ usage()
 {
     std::printf(
         "usage: sim_trace <benchmark> [options]\n"
+        "       sim_trace --matrix [--out DIR]\n"
         "  --config NAME    chip configuration (default: craterlake)\n"
         "  --security BITS  80, 128 or 200 (default: 80)\n"
+        "  --schedule MODE  none or list (default: none)\n"
         "  --out DIR        output directory (default: .)\n"
         "  --top K          stalled instructions listed (default: 10)\n"
+        "  --matrix         write the full benchmark x config x "
+        "schedule\n"
+        "                   snapshot to <out>/BENCH_sim.json and exit\n"
         "  --list           print benchmark slugs and exit\n");
     cl::printBenchmarksAndConfigs();
 }
@@ -46,6 +56,105 @@ slugify(std::string s)
     return s;
 }
 
+struct RunLine
+{
+    std::string benchmark, config, security, schedule;
+    std::size_t homOps = 0, instructions = 0;
+    cl::SimStats stats;
+};
+
+/** One snapshot object, shared by the single-run and matrix forms. */
+void
+writeEntry(std::ostream &os, const RunLine &r, const cl::ChipConfig &cfg,
+           const char *indent)
+{
+    char buf[256];
+    const std::string in = indent;
+    os << in << "\"benchmark\": \"" << r.benchmark << "\",\n";
+    os << in << "\"config\": \"" << r.config << "\",\n";
+    os << in << "\"security\": \"" << r.security << "\",\n";
+    os << in << "\"schedule\": \"" << r.schedule << "\",\n";
+    os << in << "\"hom_ops\": " << r.homOps << ",\n";
+    os << in << "\"instructions\": " << r.instructions << ",\n";
+    os << in << "\"cycles\": " << r.stats.cycles << ",\n";
+    std::snprintf(buf, sizeof buf, "%.6f", r.stats.seconds(cfg) * 1e3);
+    os << in << "\"ms\": " << buf << ",\n";
+    std::snprintf(buf, sizeof buf, "%.6f", r.stats.fuUtilization(cfg));
+    os << in << "\"fu_utilization\": " << buf << ",\n";
+    std::snprintf(buf, sizeof buf, "%.6f", r.stats.memUtilization());
+    os << in << "\"mem_utilization\": " << buf << ",\n";
+    std::snprintf(buf, sizeof buf, "%.3f", r.stats.avgPowerWatts(cfg));
+    os << in << "\"avg_power_w\": " << buf << ",\n";
+    os << in << "\"traffic_words\": {\n";
+    os << in << "  \"ksh_load\": " << r.stats.kshLoadWords << ",\n";
+    os << in << "  \"input_load\": " << r.stats.inputLoadWords << ",\n";
+    os << in << "  \"plain_load\": " << r.stats.plainLoadWords << ",\n";
+    os << in << "  \"interm_load\": " << r.stats.intermLoadWords
+       << ",\n";
+    os << in << "  \"interm_store\": " << r.stats.intermStoreWords
+       << ",\n";
+    os << in << "  \"output_store\": " << r.stats.outputStoreWords
+       << ",\n";
+    os << in << "  \"total\": " << r.stats.totalTrafficWords() << "\n";
+    os << in << "},\n";
+    os << in << "\"rf_access_words\": " << r.stats.rfAccessWords
+       << ",\n";
+    os << in << "\"network_words\": " << r.stats.networkWords << "\n";
+}
+
+int
+runMatrix(const std::string &out_dir, unsigned security)
+{
+    using namespace cl;
+    const SecurityConfig sec = securityByBits(security);
+    const std::vector<std::string> configs = {"craterlake", "f1plus"};
+    const ScheduleMode modes[] = {ScheduleMode::None,
+                                  ScheduleMode::List};
+
+    std::vector<std::pair<RunLine, ChipConfig>> lines;
+    for (const std::string &bn : benchmarkNames()) {
+        const HomProgram hp = benchmarkByName(bn, sec);
+        for (const std::string &cn : configs) {
+            const ChipConfig cfg = ChipConfig::byName(cn);
+            for (ScheduleMode mode : modes) {
+                Lowering lower(cfg, mode);
+                const Program prog = lower.lower(hp);
+                Simulator sim(cfg);
+                RunLine r;
+                r.benchmark = bn;
+                r.config = cfg.name;
+                r.security = sec.name;
+                r.schedule = scheduleModeName(mode);
+                r.homOps = hp.ops.size();
+                r.instructions = prog.size();
+                r.stats = sim.run(prog);
+                std::printf("%-14s x %-10s x %-4s %8zu insts %12llu "
+                            "cycles\n",
+                            bn.c_str(), cn.c_str(), r.schedule.c_str(),
+                            r.instructions,
+                            static_cast<unsigned long long>(
+                                r.stats.cycles));
+                lines.emplace_back(std::move(r), cfg);
+            }
+        }
+    }
+
+    const std::string path = out_dir + "/BENCH_sim.json";
+    std::ofstream os(path);
+    if (!os)
+        CL_FATAL("cannot write ", path);
+    os << "{\n  \"entries\": [\n";
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        os << "    {\n";
+        writeEntry(os, lines[i].first, lines[i].second, "      ");
+        os << "    }" << (i + 1 < lines.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    std::printf("\nwrote %s (%zu entries)\n", path.c_str(),
+                lines.size());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -56,6 +165,8 @@ main(int argc, char **argv)
     std::string bench_name, config_name = "craterlake", out_dir = ".";
     unsigned security = 80;
     std::size_t top_k = 10;
+    ScheduleMode schedule = ScheduleMode::None;
+    bool matrix = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -75,10 +186,14 @@ main(int argc, char **argv)
             config_name = value();
         } else if (arg == "--security") {
             security = static_cast<unsigned>(std::stoul(value()));
+        } else if (arg == "--schedule") {
+            schedule = scheduleModeByName(value());
         } else if (arg == "--out") {
             out_dir = value();
         } else if (arg == "--top") {
             top_k = static_cast<std::size_t>(std::stoul(value()));
+        } else if (arg == "--matrix") {
+            matrix = true;
         } else if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
@@ -90,6 +205,8 @@ main(int argc, char **argv)
             bench_name = arg;
         }
     }
+    if (matrix)
+        return runMatrix(out_dir, security);
     if (bench_name.empty()) {
         usage();
         return 2;
@@ -99,7 +216,7 @@ main(int argc, char **argv)
     const ChipConfig cfg = ChipConfig::byName(config_name);
     const HomProgram hp = benchmarkByName(bench_name, sec);
 
-    Lowering lower(cfg);
+    Lowering lower(cfg, schedule);
     const Program prog = lower.lower(hp);
     Simulator sim(cfg);
     TraceRecorder rec;
@@ -129,38 +246,16 @@ main(int argc, char **argv)
         std::ofstream os(out_dir + "/BENCH_sim.json");
         if (!os)
             CL_FATAL("cannot write ", out_dir, "/BENCH_sim.json");
-        char buf[256];
+        RunLine r;
+        r.benchmark = bench_name;
+        r.config = cfg.name;
+        r.security = sec.name;
+        r.schedule = scheduleModeName(schedule);
+        r.homOps = hp.ops.size();
+        r.instructions = prog.size();
+        r.stats = stats;
         os << "{\n";
-        os << "  \"benchmark\": \"" << bench_name << "\",\n";
-        os << "  \"config\": \"" << cfg.name << "\",\n";
-        os << "  \"security\": \"" << sec.name << "\",\n";
-        os << "  \"hom_ops\": " << hp.ops.size() << ",\n";
-        os << "  \"instructions\": " << prog.size() << ",\n";
-        os << "  \"cycles\": " << stats.cycles << ",\n";
-        std::snprintf(buf, sizeof buf, "%.6f",
-                      stats.seconds(cfg) * 1e3);
-        os << "  \"ms\": " << buf << ",\n";
-        std::snprintf(buf, sizeof buf, "%.6f",
-                      stats.fuUtilization(cfg));
-        os << "  \"fu_utilization\": " << buf << ",\n";
-        std::snprintf(buf, sizeof buf, "%.6f", stats.memUtilization());
-        os << "  \"mem_utilization\": " << buf << ",\n";
-        std::snprintf(buf, sizeof buf, "%.3f",
-                      stats.avgPowerWatts(cfg));
-        os << "  \"avg_power_w\": " << buf << ",\n";
-        os << "  \"traffic_words\": {\n";
-        os << "    \"ksh_load\": " << stats.kshLoadWords << ",\n";
-        os << "    \"input_load\": " << stats.inputLoadWords << ",\n";
-        os << "    \"plain_load\": " << stats.plainLoadWords << ",\n";
-        os << "    \"interm_load\": " << stats.intermLoadWords << ",\n";
-        os << "    \"interm_store\": " << stats.intermStoreWords
-           << ",\n";
-        os << "    \"output_store\": " << stats.outputStoreWords
-           << ",\n";
-        os << "    \"total\": " << stats.totalTrafficWords() << "\n";
-        os << "  },\n";
-        os << "  \"rf_access_words\": " << stats.rfAccessWords << ",\n";
-        os << "  \"network_words\": " << stats.networkWords << "\n";
+        writeEntry(os, r, cfg, "  ");
         os << "}\n";
     }
 

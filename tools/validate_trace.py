@@ -4,13 +4,22 @@
 Usage: validate_trace.py <trace.json> <BENCH_sim.json>
 
 Checks that the trace is well-formed Chrome trace_event JSON (the
-subset sim_trace emits) and that the BENCH_sim.json snapshot carries
-every field perf regressions are diffed on. Exits non-zero with a
-message on the first violation.
+subset sim_trace emits), that the serialized resources it models —
+the memory channel (pid 1) and the inter-group network (pid 2) —
+carry non-overlapping transfer windows, and that the BENCH_sim.json
+snapshot carries every field perf regressions are diffed on, in both
+its single-run form and the committed --matrix "entries" form. Exits
+non-zero with a message on the first violation.
 """
 
 import json
 import sys
+
+# Chrome-trace process ids, mirroring TraceRecorder::writeChromeTrace:
+# pid 0 is compute (one tid per FU class, overlap expected); pids 1
+# and 2 are single serialized timelines where overlap means the
+# simulator double-booked the resource.
+SERIALIZED_PIDS = {1: "memory channel", 2: "network"}
 
 
 def fail(msg):
@@ -27,6 +36,7 @@ def validate_trace(path):
     if not isinstance(events, list) or not events:
         fail(f"{path}: traceEvents must be a non-empty list")
     n_complete = 0
+    spans = {}  # (pid, tid) -> [(ts, dur, name)]
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             fail(f"{path}: event {i} is not an object")
@@ -40,20 +50,36 @@ def validate_trace(path):
                     fail(f"{path}: X event {i} lacks '{key}'")
             if ev["ts"] < 0 or ev["dur"] < 0:
                 fail(f"{path}: X event {i} has negative ts/dur")
+            spans.setdefault((ev["pid"], ev["tid"]), []).append(
+                (ev["ts"], ev["dur"], ev["name"]))
         elif ev["ph"] != "M":
             fail(f"{path}: event {i} has unexpected phase {ev['ph']!r}")
     if n_complete == 0:
         fail(f"{path}: no complete ('X') events")
-    print(f"{path}: OK ({len(events)} events, {n_complete} spans)")
+
+    # Per-resource monotonicity: on a serialized timeline, events
+    # sorted by start must not overlap (touching endpoints are fine).
+    for (pid, tid), evs in sorted(spans.items()):
+        if pid not in SERIALIZED_PIDS:
+            continue
+        evs.sort()
+        for (ts0, dur0, name0), (ts1, _, name1) in zip(evs, evs[1:]):
+            if ts1 < ts0 + dur0:
+                fail(f"{path}: {SERIALIZED_PIDS[pid]} (pid {pid}/tid "
+                     f"{tid}): '{name1}' starts at {ts1} before "
+                     f"'{name0}' [{ts0}, {ts0 + dur0}) ends")
+    n_serial = sum(len(v) for (p, _), v in spans.items()
+                   if p in SERIALIZED_PIDS)
+    print(f"{path}: OK ({len(events)} events, {n_complete} spans, "
+          f"{n_serial} serialized-resource spans)")
 
 
-def validate_bench(path):
-    with open(path) as f:
-        doc = json.load(f)
+def validate_entry(path, doc, where):
     required = {
         "benchmark": str,
         "config": str,
         "security": str,
+        "schedule": str,
         "hom_ops": int,
         "instructions": int,
         "cycles": int,
@@ -67,23 +93,46 @@ def validate_bench(path):
     }
     for key, typ in required.items():
         if key not in doc:
-            fail(f"{path}: missing '{key}'")
+            fail(f"{path}: {where} missing '{key}'")
         if not isinstance(doc[key], typ):
-            fail(f"{path}: '{key}' must be {typ.__name__}")
+            fail(f"{path}: {where} '{key}' must be {typ.__name__}")
+    if doc["schedule"] not in ("none", "list"):
+        fail(f"{path}: {where} schedule {doc['schedule']!r} not in "
+             f"none/list")
     traffic = doc["traffic_words"]
     for key in ("ksh_load", "input_load", "plain_load", "interm_load",
                 "interm_store", "output_store", "total"):
         if not isinstance(traffic.get(key), int):
-            fail(f"{path}: traffic_words.{key} missing or non-integer")
+            fail(f"{path}: {where} traffic_words.{key} missing or "
+                 f"non-integer")
     parts = sum(v for k, v in traffic.items() if k != "total")
     if parts != traffic["total"]:
-        fail(f"{path}: traffic_words.total {traffic['total']} != "
-             f"sum of categories {parts}")
+        fail(f"{path}: {where} traffic_words.total {traffic['total']} "
+             f"!= sum of categories {parts}")
     if doc["cycles"] <= 0:
-        fail(f"{path}: cycles must be positive")
+        fail(f"{path}: {where} cycles must be positive")
     if not 0.0 <= doc["fu_utilization"] <= 1.0:
-        fail(f"{path}: fu_utilization out of [0,1]")
-    print(f"{path}: OK")
+        fail(f"{path}: {where} fu_utilization out of [0,1]")
+
+
+def validate_bench(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "entries" in doc:
+        entries = doc["entries"]
+        if not isinstance(entries, list) or not entries:
+            fail(f"{path}: entries must be a non-empty list")
+        seen = set()
+        for i, e in enumerate(entries):
+            validate_entry(path, e, f"entry {i}")
+            key = (e["benchmark"], e["config"], e["schedule"])
+            if key in seen:
+                fail(f"{path}: duplicate entry {key}")
+            seen.add(key)
+        print(f"{path}: OK ({len(entries)} entries)")
+    else:
+        validate_entry(path, doc, "snapshot")
+        print(f"{path}: OK")
 
 
 def main():

@@ -32,6 +32,7 @@ usage()
         "  --config NAME|all  chip configuration(s) "
         "(default: craterlake)\n"
         "  --security BITS    80, 128 or 200 (default: 80)\n"
+        "  --schedule MODE    none, list or both (default: none)\n"
         "  --inject           also fault-inject each clean schedule "
         "and\n"
         "                     require every mutation to be caught\n"
@@ -47,6 +48,7 @@ main(int argc, char **argv)
     using namespace cl;
 
     std::string bench_name = "all", config_name = "craterlake";
+    std::string schedule_name = "none";
     unsigned security = 80;
     bool inject = false;
 
@@ -68,6 +70,8 @@ main(int argc, char **argv)
             config_name = value();
         } else if (arg == "--security") {
             security = static_cast<unsigned>(std::stoul(value()));
+        } else if (arg == "--schedule") {
+            schedule_name = value();
         } else if (arg == "--inject") {
             inject = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -90,13 +94,20 @@ main(int argc, char **argv)
     const std::vector<std::string> configs =
         config_name == "all" ? allConfigNames()
                              : std::vector<std::string>{config_name};
+    const std::vector<ScheduleMode> modes =
+        schedule_name == "both"
+            ? std::vector<ScheduleMode>{ScheduleMode::None,
+                                        ScheduleMode::List}
+            : std::vector<ScheduleMode>{
+                  scheduleModeByName(schedule_name)};
 
     unsigned failures = 0, runs = 0, injected = 0;
     for (const std::string &bn : benches) {
         const HomProgram hp = benchmarkByName(bn, sec);
         for (const std::string &cn : configs) {
             const ChipConfig cfg = ChipConfig::byName(cn);
-            Lowering lower(cfg);
+            for (ScheduleMode mode : modes) {
+            Lowering lower(cfg, mode);
             const Program prog = lower.lower(hp);
             prog.validate();
 
@@ -107,9 +118,9 @@ main(int argc, char **argv)
             const VerifyReport report =
                 verifier.verify(rec.insts(), rec.residency(), stats);
             ++runs;
-            std::printf("%-14s x %-12s %7zu insts: %s\n", bn.c_str(),
-                        cn.c_str(), prog.size(),
-                        report.summary().c_str());
+            std::printf("%-14s x %-12s x %-4s %7zu insts: %s\n",
+                        bn.c_str(), cn.c_str(), scheduleModeName(mode),
+                        prog.size(), report.summary().c_str());
             if (!report.ok())
                 ++failures;
 
@@ -138,6 +149,7 @@ main(int argc, char **argv)
                                 faulted.violations.size() -
                                     faulted.count(want));
                 }
+            }
             }
         }
     }
