@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Host runtime benchmarks: inter-op parallelism (the task-graph
+ * executor) and pooled allocation, serial vs graph execution across a
+ * worker-count sweep —
+ *
+ *   BootstrapBatch:   a batch of independent bootstraps through
+ *                     runTaskBatch (the multi-session refresh case);
+ *   CoeffToSlotBatch: a batch of BSGS linear transforms, the
+ *                     dominant non-EvalMod bootstrap stage;
+ *   HostProgram:      two compiled Sec 8 workloads (LoLa-MNIST with
+ *                     encrypted weights, packed bootstrapping)
+ *                     executed end-to-end by HostRunner;
+ *   PoolChurn:        the same HostRunner workload with the RnsPoly
+ *                     pool on vs off, reporting per-run allocation
+ *                     counts (hits/misses) alongside the time.
+ *
+ * The checked-in BENCH_runtime.json records these on the committing
+ * host; the `cl_host_cpus` context field says how many cores that
+ * host actually had — graph-over-serial speedups only materialize
+ * when threads map to real cores (see EXPERIMENTS.md "Thread
+ * scaling").
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ckks/bootstrap.h"
+#include "poly/polypool.h"
+#include "rns/simd/kernels.h"
+#include "runtime/hostrun.h"
+#include "workloads/benchmarks.h"
+
+namespace {
+
+using namespace cl;
+
+/** Bootstrap-capable context (the demo's parameters) plus a small
+ *  program context for HostRunner, built once. */
+struct Host
+{
+    // logN=9 / L=20: bootstrapping.
+    std::unique_ptr<CkksContext> bctx;
+    std::unique_ptr<CkksEncoder> benc;
+    std::unique_ptr<KeyGenerator> bkeygen;
+    PublicKey bpk;
+    std::unique_ptr<Bootstrapper> boot;
+    std::vector<Ciphertext> exhausted; // level-1 inputs for the batch
+
+    // logN=8 / L=4: compiled-workload projection.
+    std::unique_ptr<CkksContext> pctx;
+    std::unique_ptr<CkksEncoder> penc;
+    std::unique_ptr<KeyGenerator> pkeygen;
+    HomProgram mnist;
+    HomProgram packed;
+    std::unique_ptr<HostRunner> mnistRunner;
+    std::unique_ptr<HostRunner> packedRunner;
+
+    Host()
+    {
+        CkksParams bp;
+        bp.logN = 9;
+        bp.l = 20;
+        bp.alpha = 20;
+        bp.firstModBits = 50;
+        bp.scaleBits = 55;
+        bp.specialBits = 55;
+        bp.secretHamming = 16;
+        bctx = std::make_unique<CkksContext>(bp);
+        benc = std::make_unique<CkksEncoder>(*bctx);
+        bkeygen = std::make_unique<KeyGenerator>(*bctx);
+        bpk = bkeygen->genPublicKey();
+        boot = std::make_unique<Bootstrapper>(*bctx, *benc, *bkeygen);
+
+        const double app_scale = 1099511627776.0; // 2^40
+        for (std::size_t i = 0; i < 4; ++i) {
+            FastRng rng(10 + i);
+            std::vector<Complex> v(bctx->slots());
+            for (auto &z : v)
+                z = Complex(rng.nextDouble() - 0.5, 0);
+            Encryptor enc(*bctx, bpk, 100 + i);
+            exhausted.push_back(
+                enc.encrypt(benc->encode(v, app_scale, 1), app_scale));
+        }
+
+        CkksParams pp;
+        pp.logN = 8;
+        pp.l = 4;
+        pp.alpha = 4;
+        pctx = std::make_unique<CkksContext>(pp);
+        penc = std::make_unique<CkksEncoder>(*pctx);
+        pkeygen = std::make_unique<KeyGenerator>(*pctx);
+        mnist = lolaMnist(true);
+        packed = packedBootstrapping();
+        mnistRunner = std::make_unique<HostRunner>(*pctx, *penc,
+                                                   *pkeygen, mnist);
+        packedRunner = std::make_unique<HostRunner>(*pctx, *penc,
+                                                    *pkeygen, packed);
+    }
+};
+
+Host &
+host()
+{
+    static Host h;
+    return h;
+}
+
+/** Sweep label: range(0) = 0 serial / 1 graph, range(1) = workers. */
+void
+setModeLabel(benchmark::State &state)
+{
+    if (state.range(0) == 0)
+        state.SetLabel("serial");
+    else
+        state.SetLabel("graph_t" + std::to_string(state.range(1)));
+}
+
+ExecMode
+modeOf(benchmark::State &state)
+{
+    return state.range(0) == 0 ? ExecMode::Serial : ExecMode::Graph;
+}
+
+void
+BM_BootstrapBatch(benchmark::State &state)
+{
+    Host &h = host();
+    setModeLabel(state);
+    const ExecMode mode = modeOf(state);
+    const unsigned threads = static_cast<unsigned>(state.range(1));
+    std::vector<Ciphertext> out(h.exhausted.size());
+    // Prime the diagonal caches outside the timed region.
+    benchmark::DoNotOptimize(h.boot->bootstrap(h.exhausted[0]));
+    for (auto _ : state) {
+        std::vector<std::function<void()>> jobs;
+        for (std::size_t i = 0; i < h.exhausted.size(); ++i)
+            jobs.push_back([&, i] {
+                out[i] = h.boot->bootstrap(h.exhausted[i]);
+            });
+        runTaskBatch(jobs, mode, threads);
+        benchmark::DoNotOptimize(out[0].c0.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(h.exhausted.size()));
+}
+BENCHMARK(BM_BootstrapBatch)
+    ->Args({0, 1})->Args({1, 1})->Args({1, 2})->Args({1, 4})->Args({1, 8})
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_CoeffToSlotBatch(benchmark::State &state)
+{
+    Host &h = host();
+    setModeLabel(state);
+    const ExecMode mode = modeOf(state);
+    const unsigned threads = static_cast<unsigned>(state.range(1));
+    // Transform inputs live at the top of the chain.
+    std::vector<Ciphertext> in;
+    for (std::size_t i = 0; i < 4; ++i) {
+        FastRng rng(20 + i);
+        std::vector<Complex> v(h.bctx->slots());
+        for (auto &z : v)
+            z = Complex(rng.nextDouble() - 0.5, rng.nextDouble() - 0.5);
+        Encryptor enc(*h.bctx, h.bpk, 200 + i);
+        in.push_back(enc.encryptValues(*h.benc, v,
+                                       h.bctx->params().scale(),
+                                       h.bctx->l()));
+    }
+    const LinearTransformMode lt = LinearTransformMode::HoistedLazy;
+    std::vector<Ciphertext> out(in.size());
+    benchmark::DoNotOptimize(h.boot->applyCoeffToSlot(in[0], lt));
+    for (auto _ : state) {
+        std::vector<std::function<void()>> jobs;
+        for (std::size_t i = 0; i < in.size(); ++i)
+            jobs.push_back([&, i] {
+                out[i] = h.boot->applyCoeffToSlot(in[i], lt);
+            });
+        runTaskBatch(jobs, mode, threads);
+        benchmark::DoNotOptimize(out[0].c0.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(in.size()));
+}
+BENCHMARK(BM_CoeffToSlotBatch)
+    ->Args({0, 1})->Args({1, 1})->Args({1, 2})->Args({1, 4})->Args({1, 8})
+    ->Unit(benchmark::kMillisecond);
+
+/** range(2) picks the workload: 0 = LoLa-MNIST (enc), 1 = packed
+ *  bootstrapping. */
+void
+BM_HostProgram(benchmark::State &state)
+{
+    Host &h = host();
+    const bool packed = state.range(2) != 0;
+    const HomProgram &prog = packed ? h.packed : h.mnist;
+    const HostRunner &runner =
+        packed ? *h.packedRunner : *h.mnistRunner;
+    HostRunOptions opts;
+    opts.mode = modeOf(state);
+    opts.threads = static_cast<unsigned>(state.range(1));
+    const std::string sweep =
+        state.range(0) == 0
+            ? "serial"
+            : "graph_t" + std::to_string(state.range(1));
+    state.SetLabel(std::string(packed ? "packed_boot/" : "lola_mnist/") +
+                   sweep);
+    std::uint64_t digest = 0;
+    for (auto _ : state) {
+        digest = runner.run(prog, opts).digest;
+        benchmark::DoNotOptimize(digest);
+    }
+    state.counters["ops"] = static_cast<double>(prog.ops.size());
+}
+BENCHMARK(BM_HostProgram)
+    ->Args({0, 1, 0})->Args({1, 1, 0})->Args({1, 2, 0})->Args({1, 4, 0})
+    ->Args({1, 8, 0})
+    ->Args({0, 1, 1})->Args({1, 1, 1})->Args({1, 2, 1})->Args({1, 4, 1})
+    ->Args({1, 8, 1})
+    ->Unit(benchmark::kMillisecond);
+
+/** Pool on/off churn: same graph-mode workload, allocation counters
+ *  from the pool's own stats (per run of the program). */
+void
+BM_PoolChurn(benchmark::State &state)
+{
+    Host &h = host();
+    const bool pooled = state.range(0) != 0;
+    state.SetLabel(pooled ? "pool_on" : "pool_off");
+    const bool saved = polyPoolEnabled();
+    polyPoolSetEnabled(pooled);
+    HostRunOptions opts;
+    opts.mode = ExecMode::Graph;
+    opts.threads = 4;
+    polyPoolResetStats();
+    std::uint64_t digest = 0;
+    for (auto _ : state) {
+        digest = h.packedRunner->run(h.packed, opts).digest;
+        benchmark::DoNotOptimize(digest);
+    }
+    const PolyPoolStats s = polyPoolStats();
+    const double runs = static_cast<double>(state.iterations());
+    state.counters["allocs_per_run"] =
+        static_cast<double>(s.allocs) / runs;
+    state.counters["pool_hits_per_run"] =
+        static_cast<double>(s.hits) / runs;
+    state.counters["heap_allocs_per_run"] =
+        static_cast<double>(s.misses) / runs;
+    polyPoolSetEnabled(saved);
+    polyPoolTrim();
+}
+BENCHMARK(BM_PoolChurn)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+#ifndef CL_BENCH_BUILD_TYPE
+#define CL_BENCH_BUILD_TYPE "unknown"
+#endif
+
+/** Custom main, as in host_bootstrap: refuse to write checked-in
+ *  BENCH_*.json tables from a non-Release build (--force overrides);
+ *  stamp build type, SIMD backend, and the host's core count. */
+int
+main(int argc, char **argv)
+{
+    bool force = false;
+    std::string out_path;
+    std::vector<char *> args;
+    args.reserve(static_cast<std::size_t>(argc) + 1);
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--force") == 0) {
+            force = true;
+            continue;
+        }
+        constexpr const char kOut[] = "--benchmark_out=";
+        if (std::strncmp(argv[i], kOut, sizeof(kOut) - 1) == 0)
+            out_path = argv[i] + sizeof(kOut) - 1;
+        args.push_back(argv[i]);
+    }
+    args.push_back(nullptr);
+
+    const auto slash = out_path.find_last_of('/');
+    const std::string base =
+        slash == std::string::npos ? out_path : out_path.substr(slash + 1);
+    const bool is_bench_table =
+        base.rfind("BENCH_", 0) == 0 && base.size() > 5 &&
+        base.compare(base.size() - 5, 5, ".json") == 0;
+    const bool release = std::strcmp(CL_BENCH_BUILD_TYPE, "Release") == 0;
+    if (is_bench_table && !release) {
+        if (!force) {
+            std::fprintf(stderr,
+                         "host_runtime: refusing to write %s from a %s "
+                         "build; checked-in BENCH_*.json tables must "
+                         "come from -DCMAKE_BUILD_TYPE=Release "
+                         "(pass --force to override)\n",
+                         base.c_str(), CL_BENCH_BUILD_TYPE);
+            return 1;
+        }
+        std::fprintf(stderr,
+                     "host_runtime: WARNING: writing %s from a %s "
+                     "build (--force)\n",
+                     base.c_str(), CL_BENCH_BUILD_TYPE);
+    }
+
+    benchmark::AddCustomContext("cl_build_type", CL_BENCH_BUILD_TYPE);
+    benchmark::AddCustomContext(
+        "cl_simd_default",
+        cl::simdBackendName(cl::activeSimdBackend()));
+    benchmark::AddCustomContext(
+        "cl_host_cpus",
+        std::to_string(std::thread::hardware_concurrency()));
+
+    int bench_argc = static_cast<int>(args.size()) - 1;
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

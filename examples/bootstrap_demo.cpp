@@ -4,13 +4,17 @@
  * squares a ciphertext past its multiplicative budget by
  * bootstrapping whenever the budget runs out (Fig 2), using the
  * functional CKKS bootstrapper (ModRaise, CoeffToSlot, EvalMod,
- * SlotToCoeff).
+ * SlotToCoeff). A second section refreshes a whole batch of
+ * ciphertexts through the task-graph runtime (CL_EXEC selects
+ * serial or parallel execution; the bytes are identical either way,
+ * and the digest printed below proves it).
  */
 
 #include <cmath>
 #include <cstdio>
 
 #include "ckks/bootstrap.h"
+#include "runtime/hostrun.h"
 
 int
 main()
@@ -86,5 +90,41 @@ main()
                 out[0].real(), expect[0].real());
     std::printf("max error: %.2e %s\n", max_err,
                 max_err < 0.05 ? "(OK)" : "(TOO LARGE)");
-    return max_err < 0.05 ? 0 : 1;
+    if (max_err >= 0.05)
+        return 1;
+
+    // ---- Batch refresh through the host runtime: independent
+    //      sessions bootstrap concurrently under CL_EXEC=graph, one
+    //      after another under CL_EXEC=serial — with byte-identical
+    //      results, which is why the digest below is pinned in the
+    //      golden file regardless of mode or thread count. ----
+    // (The mode is deliberately not printed: the golden file pins
+    // this output for every CL_EXEC setting.)
+    const ExecMode mode = execModeFromEnv();
+    std::printf("\nbatch refresh of 3 exhausted ciphertexts...\n");
+    std::vector<Ciphertext> batch(3);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        std::vector<Complex> bv(ctx.slots());
+        FastRng brng(42 + i);
+        for (auto &v : bv)
+            v = Complex(brng.nextDouble() - 0.5, 0);
+        Encryptor benc(ctx, pk, 1000 + i);
+        batch[i] = benc.encrypt(encoder.encode(bv, scale, 1), scale);
+    }
+    std::vector<std::function<void()>> jobs;
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        jobs.push_back([&, i] { batch[i] = boot.bootstrap(batch[i]); });
+    runTaskBatch(jobs, mode);
+
+    std::uint64_t digest = 1469598103934665603ull; // FNV offset
+    bool refreshed = true;
+    for (const Ciphertext &b : batch) {
+        digest = digestCiphertext(digest, b);
+        refreshed = refreshed && b.level() > 3;
+    }
+    std::printf("batch refreshed to level %u; digest %016llx %s\n",
+                batch[0].level(),
+                static_cast<unsigned long long>(digest),
+                refreshed ? "(OK)" : "(LEVEL TOO LOW)");
+    return refreshed ? 0 : 1;
 }

@@ -226,6 +226,16 @@ const Bootstrapper::DiagCache &
 Bootstrapper::diagonals(const Matrix &m, int which, unsigned level,
                         bool need_ext) const
 {
+    // Serializes concurrent first builds of the same (matrix, level)
+    // entry; after warmup every call is a map lookup under the lock.
+    // Returned references stay valid outside the lock because map
+    // nodes are stable. The one rebuild case — an entry built without
+    // ext-basis plaintexts upgraded by a need_ext caller — replaces
+    // the mapped value, so concurrent transforms must agree on the
+    // execution mode (bootstrap() always uses params_.ltMode; mixing
+    // modes concurrently via applyCoeffToSlot is a test-only pattern
+    // and tests do it serially).
+    std::lock_guard<std::mutex> lock(diagMutex_);
     const auto key = std::make_pair(which, level);
     auto it = diagCache_.find(key);
     if (it == diagCache_.end() || (need_ext && !it->second.hasExt)) {

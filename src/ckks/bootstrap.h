@@ -29,8 +29,10 @@
 #ifndef CL_CKKS_BOOTSTRAP_H
 #define CL_CKKS_BOOTSTRAP_H
 
+#include <atomic>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <vector>
 
 #include "ckks/encryptor.h"
@@ -179,7 +181,13 @@ class Bootstrapper
     SwitchKey relin_;
     GaloisKeys galois_;
     unsigned ltN1_ = 0; // resolved transform baby dimension
-    mutable unsigned depthUsed_ = 0;
+    // bootstrap() is const and the task-graph runtime calls it from
+    // many workers at once: the depth record is atomic (every call
+    // stores the same value) and the lazily built diagonal cache is
+    // mutex-guarded (map nodes are stable, so references handed out
+    // under the lock stay valid after it is released).
+    mutable std::atomic<unsigned> depthUsed_{0};
+    mutable std::mutex diagMutex_;
     mutable std::map<std::pair<int, unsigned>, DiagCache> diagCache_;
 };
 

@@ -8,6 +8,7 @@
 #ifndef CL_CKKS_CONTEXT_H
 #define CL_CKKS_CONTEXT_H
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -19,23 +20,83 @@
 namespace cl {
 
 /**
+ * Relaxed atomic counter with value semantics. The task-graph runtime
+ * (src/runtime) executes independent Evaluator ops concurrently, and
+ * every op charges the shared OpCounter; wrapping each field keeps the
+ * charges race-free while every existing call site — `+=`, `++`,
+ * copies like `OpCounter model = ctx.ops()`, and plain u64 reads —
+ * compiles unchanged. Relaxed ordering is enough: totals are only read
+ * after the parallel region joins, and addition commutes, so the
+ * counts are exact and order-independent.
+ */
+class AtomicCount
+{
+  public:
+    AtomicCount() = default;
+    AtomicCount(std::uint64_t v) : v_(v) {}
+    AtomicCount(const AtomicCount &o) : v_(o.value()) {}
+
+    AtomicCount &
+    operator=(const AtomicCount &o)
+    {
+        v_.store(o.value(), std::memory_order_relaxed);
+        return *this;
+    }
+    AtomicCount &
+    operator=(std::uint64_t v)
+    {
+        v_.store(v, std::memory_order_relaxed);
+        return *this;
+    }
+    AtomicCount &
+    operator+=(std::uint64_t d)
+    {
+        v_.fetch_add(d, std::memory_order_relaxed);
+        return *this;
+    }
+    AtomicCount &
+    operator++()
+    {
+        v_.fetch_add(1, std::memory_order_relaxed);
+        return *this;
+    }
+    std::uint64_t
+    operator++(int)
+    {
+        return v_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    operator std::uint64_t() const { return value(); }
+    std::uint64_t
+    value() const
+    {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/**
  * Running counts of the scalar/vector operations performed by the
  * functional library, mirroring Table 1's accounting: element-wise
  * multiplies/adds (in units of residue polynomials) and NTTs.
+ * Fields are individually atomic (see AtomicCount) so concurrent
+ * Evaluator calls under the task-graph runtime account correctly.
  */
 struct OpCounter
 {
-    std::uint64_t polyMults = 0; ///< Residue-poly element-wise multiplies.
-    std::uint64_t polyAdds = 0;  ///< Residue-poly element-wise adds.
-    std::uint64_t ntts = 0;      ///< Forward + inverse NTTs.
-    std::uint64_t automorphisms = 0;
+    AtomicCount polyMults; ///< Residue-poly element-wise multiplies.
+    AtomicCount polyAdds;  ///< Residue-poly element-wise adds.
+    AtomicCount ntts;      ///< Forward + inverse NTTs.
+    AtomicCount automorphisms;
 
     // Staged-keyswitch stage counts (the hoisted path shares one
     // decompose across many rotations; these make the sharing visible
     // so per-stage costs can be pinned against the naive path).
-    std::uint64_t decomposes = 0;    ///< Digit-lift + mod-up passes.
-    std::uint64_t innerProducts = 0; ///< Hint inner products.
-    std::uint64_t modDowns = 0;      ///< Extended-basis mod-downs.
+    AtomicCount decomposes;    ///< Digit-lift + mod-up passes.
+    AtomicCount innerProducts; ///< Hint inner products.
+    AtomicCount modDowns;      ///< Extended-basis mod-downs.
 
     void
     reset()

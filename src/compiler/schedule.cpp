@@ -513,4 +513,68 @@ scheduleProgram(const Program &prog, const ChipConfig &cfg,
     return out;
 }
 
+std::uint64_t
+homOpWeight(const HomOp &op)
+{
+    // Coarse host-cost model in "elementwise pass" units: keyswitching
+    // ops pay the digit lift + inner product + mod-down, ct-ct multiply
+    // adds the tensor product on top, plain ops are one or two passes.
+    // Only the *relative* order matters — heights steer the ready
+    // queue toward the critical path, they never change what runs.
+    switch (op.kind) {
+    case HomOpKind::Mul:
+        return 12;
+    case HomOpKind::Rotate:
+    case HomOpKind::Conjugate:
+        return 10;
+    case HomOpKind::ModRaise:
+        return 6;
+    case HomOpKind::Rescale:
+    case HomOpKind::MulPlain:
+        return 3;
+    case HomOpKind::Input:
+        return 2; // encryption on the host path
+    default:
+        return 1; // Add/AddPlain/LevelDrop/Output
+    }
+}
+
+HomDepGraph
+buildHomDepGraph(const HomProgram &prog)
+{
+    const std::size_t n = prog.ops.size();
+    HomDepGraph g;
+    g.succs.resize(n);
+    g.predCount.assign(n, 0);
+    g.height.assign(n, 0);
+
+    std::vector<std::uint32_t> scratch;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const HomOp &op = prog.ops[i];
+        CL_ASSERT(op.id == i, "HomProgram ids must be dense");
+        scratch.clear();
+        for (std::uint32_t a : op.args) {
+            CL_ASSERT(a < i, "HomProgram args must be earlier ops");
+            scratch.push_back(a);
+        }
+        std::sort(scratch.begin(), scratch.end());
+        scratch.erase(std::unique(scratch.begin(), scratch.end()),
+                      scratch.end());
+        for (std::uint32_t a : scratch) {
+            g.succs[a].push_back(i);
+            ++g.predCount[i];
+            ++g.edges;
+        }
+    }
+
+    for (std::size_t i = n; i-- > 0;) {
+        std::uint64_t succ_max = 0;
+        for (std::uint32_t s : g.succs[i])
+            succ_max = std::max(succ_max, g.height[s]);
+        g.height[i] = homOpWeight(prog.ops[i]) + succ_max;
+        g.critical = std::max(g.critical, g.height[i]);
+    }
+    return g;
+}
+
 } // namespace cl

@@ -25,6 +25,7 @@
 #ifndef CL_COMPILER_SCHEDULE_H
 #define CL_COMPILER_SCHEDULE_H
 
+#include "compiler/homprogram.h"
 #include "hw/config.h"
 #include "isa/program.h"
 
@@ -63,6 +64,31 @@ struct ScheduleStats
 Program scheduleProgram(const Program &prog, const ChipConfig &cfg,
                         ScheduleMode mode,
                         ScheduleStats *stats = nullptr);
+
+/**
+ * Dedup'd dependence graph over a HomProgram's ops — the op-level
+ * analogue of the instruction-level graph the list scheduler builds
+ * (HomPrograms are SSA, so the graph falls straight out of the arg
+ * lists; duplicate args like add(x, x) contribute one edge). The host
+ * task-graph runtime (src/runtime) executes along this graph: an op
+ * becomes ready when its predecessors retire, and the ready queue is
+ * ordered by `height` — the same duration-weighted critical-path
+ * priority the scheduler uses, with homOpWeight as the duration model.
+ */
+struct HomDepGraph
+{
+    std::vector<std::vector<std::uint32_t>> succs; ///< Dedup'd.
+    std::vector<std::uint32_t> predCount;          ///< Dedup'd in-degree.
+    /** Weight-inclusive critical path from op to any sink. */
+    std::vector<std::uint64_t> height;
+    std::uint64_t critical = 0; ///< max over height.
+    std::size_t edges = 0;      ///< Dedup'd edge count.
+};
+
+/** Relative host cost of one op (keyswitching ops dominate). */
+std::uint64_t homOpWeight(const HomOp &op);
+
+HomDepGraph buildHomDepGraph(const HomProgram &prog);
 
 } // namespace cl
 

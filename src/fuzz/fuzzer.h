@@ -38,6 +38,7 @@
 #include "ckks/encryptor.h"
 #include "ckks/evaluator.h"
 #include "compiler/schedule.h"
+#include "runtime/taskgraph.h"
 
 namespace cl {
 
@@ -185,6 +186,15 @@ struct OracleOptions
      *  a separate lower/simulate/verify pass, so {None, List} runs
      *  the scheduler differentially against the emission order. */
     std::vector<ScheduleMode> scheduleModes = {ScheduleMode::None};
+
+    /** Execution modes for the ciphertext leg. Each mode executes the
+     *  whole program between counter snapshots; with more than one,
+     *  every later mode's ciphertexts must be *byte-identical* to the
+     *  first's and all counter totals must agree — {Serial, Graph}
+     *  runs the task-graph runtime differentially against program
+     *  order. Defaults to serial (the historical oracle behavior);
+     *  tools/fuzz_hom --exec selects others. */
+    std::vector<ExecMode> execModes = {ExecMode::Serial};
 
     /** Multiplier on the decrypt-error bound. 1.0 for real runs; tests
      *  shrink it to force synthetic failures (e.g. to exercise the

@@ -47,6 +47,41 @@ describeCounterDiff(const OpCounter &model, const KernelCounts &meas)
     return os.str();
 }
 
+/** Relative task weight of one op (mirrors homOpWeight): heights
+ *  steer the graph ready queue, they never change what runs. */
+std::uint64_t
+genOpWeight(GenKind k)
+{
+    switch (k) {
+    case GenKind::Mul:
+        return 12;
+    case GenKind::Rotate:
+    case GenKind::Conjugate:
+        return 10;
+    case GenKind::ModRaise:
+        return 6;
+    case GenKind::Rescale:
+    case GenKind::MulPlain:
+        return 3;
+    default:
+        return 1;
+    }
+}
+
+bool
+polyEqual(const RnsPoly &a, const RnsPoly &b)
+{
+    return a.towers() == b.towers() && a.modIdx() == b.modIdx() &&
+           a.isNtt() == b.isNtt() && a.data() == b.data();
+}
+
+bool
+ctEqual(const Ciphertext &a, const Ciphertext &b)
+{
+    return a.scale == b.scale && polyEqual(a.c0, b.c0) &&
+           polyEqual(a.c1, b.c1);
+}
+
 } // namespace
 
 OracleResult
@@ -110,10 +145,10 @@ runOracle(const FuzzEnv &env, const GenProgram &prog,
     }
 
     // ---- Stage 1: execute through the Evaluator between counter
-    //      snapshots; cross-check level/scale after every op. ----
-    ctx.ops().reset();
-    kernelCounters().reset();
-
+    //      snapshots; cross-check level/scale after every op. Every
+    //      requested execution mode runs the whole program between its
+    //      own snapshots; later modes must reproduce the first mode's
+    //      ciphertext bits and counter totals exactly. ----
     auto fail_at = [&](std::size_t i, const std::string &msg) {
         res.ok = false;
         res.failOp = static_cast<int>(i);
@@ -122,58 +157,96 @@ runOracle(const FuzzEnv &env, const GenProgram &prog,
                       genKindName(prog.ops[i].kind) + "): " + msg;
     };
 
-    for (std::size_t i = 0; i < prog.ops.size() && res.ok; ++i) {
+    // Ciphertext leg for one op, into an arbitrary result vector.
+    // Safe to run concurrently for independent i: each call writes
+    // only out[i] and reads retired operands (plains are read-only).
+    auto execCipher = [&](std::vector<Ciphertext> &out, std::size_t i) {
         const GenOp &op = prog.ops[i];
-        const TrackedValue &tv = (*tracked)[i];
         switch (op.kind) {
           case GenKind::Input:
-            break; // pre-encrypted
+            break; // pre-encrypted in stage 0
           case GenKind::Add:
-            cts[i] = eval.add(cts[op.a], cts[op.b]);
+            out[i] = eval.add(out[op.a], out[op.b]);
+            break;
+          case GenKind::Sub:
+            out[i] = eval.sub(out[op.a], out[op.b]);
+            break;
+          case GenKind::AddPlain:
+            out[i] = eval.addPlain(out[op.a], plains[plainOf[i]],
+                                   (*tracked)[op.a].scale);
+            break;
+          case GenKind::SubPlain:
+            out[i] = eval.subPlain(out[op.a], plains[plainOf[i]],
+                                   (*tracked)[op.a].scale);
+            break;
+          case GenKind::MulPlain:
+            out[i] = eval.mulPlain(out[op.a], plains[plainOf[i]],
+                                   env.contextScale());
+            break;
+          case GenKind::Mul:
+            out[i] = eval.multiply(out[op.a], out[op.b], env.relinKey());
+            break;
+          case GenKind::Rescale:
+            out[i] = out[op.a];
+            eval.rescale(out[i]);
+            break;
+          case GenKind::Rotate:
+            out[i] = eval.rotate(out[op.a], op.steps, env.galoisKeys());
+            break;
+          case GenKind::Conjugate:
+            out[i] = eval.conjugate(out[op.a], env.galoisKeys());
+            break;
+          case GenKind::LevelDrop:
+            out[i] = out[op.a];
+            eval.levelDrop(out[i], (*tracked)[i].level);
+            break;
+          case GenKind::ModRaise:
+            out[i] = eval.modRaise(out[op.a], (*tracked)[i].level);
+            break;
+          case GenKind::Output:
+            out[i] = out[op.a];
+            break;
+        }
+    };
+
+    // The cleartext slot model is execution-mode-independent: run it
+    // once, serially (Input slots were filled in stage 0).
+    for (std::size_t i = 0; i < prog.ops.size(); ++i) {
+        const GenOp &op = prog.ops[i];
+        switch (op.kind) {
+          case GenKind::Input:
+            break;
+          case GenKind::Add:
             for (std::size_t s = 0; s < slots; ++s)
                 clear[i].push_back(clear[op.a][s] + clear[op.b][s]);
             break;
           case GenKind::Sub:
-            cts[i] = eval.sub(cts[op.a], cts[op.b]);
             for (std::size_t s = 0; s < slots; ++s)
                 clear[i].push_back(clear[op.a][s] - clear[op.b][s]);
             break;
           case GenKind::AddPlain: {
             const auto pv = slotValues(op.valueSeed, slots);
-            cts[i] = eval.addPlain(cts[op.a], plains[plainOf[i]],
-                                   (*tracked)[op.a].scale);
             for (std::size_t s = 0; s < slots; ++s)
                 clear[i].push_back(clear[op.a][s] + pv[s]);
             break;
           }
           case GenKind::SubPlain: {
             const auto pv = slotValues(op.valueSeed, slots);
-            cts[i] = eval.subPlain(cts[op.a], plains[plainOf[i]],
-                                   (*tracked)[op.a].scale);
             for (std::size_t s = 0; s < slots; ++s)
                 clear[i].push_back(clear[op.a][s] - pv[s]);
             break;
           }
           case GenKind::MulPlain: {
             const auto pv = slotValues(op.valueSeed, slots);
-            cts[i] = eval.mulPlain(cts[op.a], plains[plainOf[i]],
-                                   env.contextScale());
             for (std::size_t s = 0; s < slots; ++s)
                 clear[i].push_back(clear[op.a][s] * pv[s]);
             break;
           }
           case GenKind::Mul:
-            cts[i] = eval.multiply(cts[op.a], cts[op.b], env.relinKey());
             for (std::size_t s = 0; s < slots; ++s)
                 clear[i].push_back(clear[op.a][s] * clear[op.b][s]);
             break;
-          case GenKind::Rescale:
-            cts[i] = cts[op.a];
-            eval.rescale(cts[i]);
-            clear[i] = clear[op.a];
-            break;
           case GenKind::Rotate: {
-            cts[i] = eval.rotate(cts[op.a], op.steps, env.galoisKeys());
             const long n = static_cast<long>(slots);
             for (long s = 0; s < n; ++s)
                 clear[i].push_back(
@@ -181,47 +254,110 @@ runOracle(const FuzzEnv &env, const GenProgram &prog,
             break;
           }
           case GenKind::Conjugate:
-            cts[i] = eval.conjugate(cts[op.a], env.galoisKeys());
             for (std::size_t s = 0; s < slots; ++s)
                 clear[i].push_back(std::conj(clear[op.a][s]));
             break;
+          case GenKind::Rescale:
           case GenKind::LevelDrop:
-            cts[i] = cts[op.a];
-            eval.levelDrop(cts[i], tv.level);
+          case GenKind::Output:
             clear[i] = clear[op.a];
             break;
           case GenKind::ModRaise:
-            cts[i] = eval.modRaise(cts[op.a], tv.level);
             clear[i] = clear[op.a]; // poisoned; never value-checked
             break;
-          case GenKind::Output:
-            cts[i] = cts[op.a];
-            clear[i] = clear[op.a];
-            break;
-        }
-        if (op.kind == GenKind::Input || op.kind == GenKind::Output)
-            continue;
-        if (cts[i].level() != tv.level) {
-            fail_at(i, "level tracking mismatch: evaluator " +
-                           std::to_string(cts[i].level()) +
-                           ", tracker " + std::to_string(tv.level));
-        } else if (cts[i].scale != tv.scale) {
-            std::ostringstream os;
-            os.precision(17);
-            os << "scale tracking mismatch: evaluator " << cts[i].scale
-               << ", tracker " << tv.scale;
-            fail_at(i, os.str());
         }
     }
 
-    const OpCounter model = ctx.ops();
-    const KernelCounts meas = kernelCounters().snapshot();
-    if (res.ok && (model.polyMults != meas.mults ||
-                   model.polyAdds != meas.adds ||
-                   model.ntts != meas.ntts ||
-                   model.automorphisms != meas.automorphisms)) {
-        res.ok = false;
-        res.failure = describeCounterDiff(model, meas);
+    OpCounter refModel; // first mode's totals, for cross-mode checks
+    for (std::size_t m = 0; m < opts.execModes.size() && res.ok; ++m) {
+        const ExecMode mode = opts.execModes[m];
+        // First mode executes straight into cts (whose Input entries
+        // stage 0 filled); later modes get a fresh vector seeded with
+        // the same inputs and are diffed against cts afterwards.
+        std::vector<Ciphertext> alt;
+        if (m > 0) {
+            alt.resize(prog.ops.size());
+            for (std::size_t i = 0; i < prog.ops.size(); ++i)
+                if (prog.ops[i].kind == GenKind::Input)
+                    alt[i] = cts[i];
+        }
+        std::vector<Ciphertext> &out = m == 0 ? cts : alt;
+
+        ctx.ops().reset();
+        kernelCounters().reset();
+        if (mode == ExecMode::Serial) {
+            for (std::size_t i = 0; i < prog.ops.size(); ++i)
+                execCipher(out, i);
+        } else {
+            TaskGraph g;
+            for (std::size_t i = 0; i < prog.ops.size(); ++i) {
+                const GenOp &op = prog.ops[i];
+                std::vector<TaskGraph::TaskId> deps;
+                if (op.a >= 0)
+                    deps.push_back(static_cast<TaskGraph::TaskId>(op.a));
+                if (op.b >= 0)
+                    deps.push_back(static_cast<TaskGraph::TaskId>(op.b));
+                g.add([&out, &execCipher, i] { execCipher(out, i); },
+                      std::move(deps), genOpWeight(op.kind));
+            }
+            g.run(mode);
+        }
+        const OpCounter model = ctx.ops();
+        const KernelCounts meas = kernelCounters().snapshot();
+
+        // Post-hoc per-op checks (results are final once a task
+        // retires, so checking after the run is equivalent to the old
+        // inline checks and stays off the workers' hot path).
+        for (std::size_t i = 0; i < prog.ops.size() && res.ok; ++i) {
+            const GenOp &op = prog.ops[i];
+            const TrackedValue &tv = (*tracked)[i];
+            if (op.kind == GenKind::Input || op.kind == GenKind::Output)
+                continue;
+            if (out[i].level() != tv.level) {
+                fail_at(i, "level tracking mismatch: evaluator " +
+                               std::to_string(out[i].level()) +
+                               ", tracker " + std::to_string(tv.level));
+            } else if (out[i].scale != tv.scale) {
+                std::ostringstream os;
+                os.precision(17);
+                os << "scale tracking mismatch: evaluator "
+                   << out[i].scale << ", tracker " << tv.scale;
+                fail_at(i, os.str());
+            }
+        }
+        if (res.ok && (model.polyMults != meas.mults ||
+                       model.polyAdds != meas.adds ||
+                       model.ntts != meas.ntts ||
+                       model.automorphisms != meas.automorphisms)) {
+            res.ok = false;
+            res.failure = describeCounterDiff(model, meas);
+        }
+
+        if (m == 0) {
+            refModel = model;
+            continue;
+        }
+        for (std::size_t i = 0; i < prog.ops.size() && res.ok; ++i) {
+            if (!ctEqual(out[i], cts[i]))
+                fail_at(i, std::string("exec divergence: ") +
+                               execModeName(mode) +
+                               " ciphertext differs from " +
+                               execModeName(opts.execModes[0]));
+        }
+        if (res.ok &&
+            (model.polyMults != refModel.polyMults ||
+             model.polyAdds != refModel.polyAdds ||
+             model.ntts != refModel.ntts ||
+             model.automorphisms != refModel.automorphisms ||
+             model.decomposes != refModel.decomposes ||
+             model.innerProducts != refModel.innerProducts ||
+             model.modDowns != refModel.modDowns)) {
+            res.ok = false;
+            res.failure =
+                std::string("exec counter divergence: ") +
+                execModeName(mode) + " charged different totals than " +
+                execModeName(opts.execModes[0]);
+        }
     }
 
     // ---- Stage 2 (leg a): decrypt every output and bound the error

@@ -23,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "poly/polypool.h"
 #include "rns/baseconv.h"
 #include "rns/chain.h"
 
@@ -32,7 +33,10 @@ namespace cl {
  * std::allocator that default-initializes (i.e. leaves uninitialized)
  * on resize, so freshly allocated polynomials that are immediately
  * overwritten (automorphism targets, base-conversion outputs, residue
- * copies) skip the zero-fill pass over towers*N words.
+ * copies) skip the zero-fill pass over towers*N words. Storage comes
+ * from the per-thread polynomial pool (polypool.h): vectors allocate
+ * exact towers*N sizes, so freed slabs are recycled by shape instead
+ * of round-tripping malloc on every Evaluator temporary.
  */
 template <typename T>
 struct UninitAllocator : std::allocator<T>
@@ -41,6 +45,18 @@ struct UninitAllocator : std::allocator<T>
     {
         using other = UninitAllocator<U>;
     };
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(polyPoolAllocate(n * sizeof(T)));
+    }
+
+    void
+    deallocate(T *p, std::size_t n) noexcept
+    {
+        polyPoolDeallocate(p, n * sizeof(T));
+    }
 
     template <typename U>
     void

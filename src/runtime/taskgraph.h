@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Work-stealing task-graph executor — the host-side analogue of
+ * CraterLake keeping every functional unit busy across *independent*
+ * homomorphic ops (Sec 6): the simulator and list scheduler already
+ * exploit inter-op parallelism spatially; this executor exploits the
+ * same dependence structure temporally on the CPU.
+ *
+ * Model: tasks are closures added in a topological order (every
+ * dependency names an earlier task). A task becomes ready when its
+ * last predecessor retires; ready tasks are ordered by critical-path
+ * height (weight-inclusive longest path to a sink, the list
+ * scheduler's priority) so workers drain the critical path first.
+ * Each worker owns a priority queue; an idle worker steals from the
+ * first non-empty victim. Workers register a
+ * ThreadPool::WorkerScope, so tower-parallel kernels inside a task
+ * run inline on the task's worker — inter-op parallelism *replaces*
+ * intra-op parallelism instead of stacking pools on top of it.
+ *
+ * Determinism: execution order varies with timing, but tasks write
+ * disjoint outputs and each task's own computation is deterministic,
+ * so the bytes produced are identical to serial execution — the same
+ * contract as the tower-parallel kernels (PR 1) and the SIMD backends
+ * (PR 4). Anything order-sensitive (PRNG draws, shared accumulators)
+ * must be made per-task (seeded streams) or commutative (relaxed
+ * atomic counts); see DESIGN.md "Host runtime".
+ *
+ * `CL_EXEC=serial|graph` selects the default mode (graph unless
+ * overridden); serial mode runs tasks in insertion order on the
+ * calling thread and is the bit-identical fallback.
+ */
+
+#ifndef CL_RUNTIME_TASKGRAPH_H
+#define CL_RUNTIME_TASKGRAPH_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cl {
+
+/** How a task graph (or a program handed to the host runner) runs. */
+enum class ExecMode
+{
+    Serial, ///< Insertion order on the calling thread.
+    Graph   ///< Work-stealing workers over the dependence graph.
+};
+
+const char *execModeName(ExecMode m);
+
+/** Parse an --exec CLI value ("serial"/"graph"); fatal on anything
+ *  else, listing the valid choices. */
+ExecMode execModeByName(const std::string &name);
+
+/** The CL_EXEC environment default: graph unless CL_EXEC=serial. */
+ExecMode execModeFromEnv();
+
+/** Statistics of one run, for tests and benchmarks. */
+struct TaskGraphStats
+{
+    std::size_t tasks = 0;
+    std::size_t edges = 0;          ///< Dedup'd dependence edges.
+    std::uint64_t criticalPath = 0; ///< Weight-inclusive longest path.
+    std::uint64_t steals = 0;       ///< Tasks taken from another worker.
+    unsigned threads = 1;           ///< Workers the run used.
+};
+
+class TaskGraph
+{
+  public:
+    using TaskId = std::uint32_t;
+
+    /**
+     * Add a task depending on earlier tasks @p deps (duplicates are
+     * deduplicated). @p weight is the relative cost used for
+     * critical-path heights; it never changes what runs.
+     */
+    TaskId add(std::function<void()> fn, std::vector<TaskId> deps = {},
+               std::uint64_t weight = 1);
+
+    std::size_t size() const { return tasks_.size(); }
+
+    /**
+     * Execute every task exactly once, respecting dependencies, and
+     * block until all retire. Graph mode runs on @p threads workers
+     * (0 = the global pool's size, i.e. CL_THREADS), the calling
+     * thread included; serial mode ignores @p threads. A graph may be
+     * run only once.
+     */
+    TaskGraphStats run(ExecMode mode = execModeFromEnv(),
+                       unsigned threads = 0);
+
+  private:
+    struct Task
+    {
+        std::function<void()> fn;
+        std::vector<TaskId> succs;
+        std::uint32_t preds = 0;
+        std::uint64_t weight = 1;
+        std::uint64_t height = 0;
+    };
+
+    std::vector<Task> tasks_;
+    std::size_t edges_ = 0;
+    bool ran_ = false;
+};
+
+/**
+ * Convenience for batches of independent jobs (e.g. bootstrapping
+ * many ciphertexts for different sessions): run every closure under
+ * @p mode. Equivalent to a TaskGraph with no edges.
+ */
+TaskGraphStats runTaskBatch(const std::vector<std::function<void()>> &fns,
+                            ExecMode mode = execModeFromEnv(),
+                            unsigned threads = 0);
+
+} // namespace cl
+
+#endif // CL_RUNTIME_TASKGRAPH_H

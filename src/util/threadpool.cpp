@@ -53,11 +53,18 @@ struct ThreadPool::Impl
     void
     runIndices(const std::function<void(std::size_t)> &f)
     {
+        // Save/restore rather than set/clear: the caller thread that
+        // acts as worker #0 may already be marked (a WorkerScope
+        // worker can only reach here through a future code path that
+        // bypasses the inline check), and clearing its mark here
+        // would let a later nested parallelFor on the same thread fan
+        // out and deadlock on the jobMutex it already holds.
+        const bool prev = t_inPoolWork;
         t_inPoolWork = true;
         std::size_t i;
         while ((i = next.fetch_add(1, std::memory_order_relaxed)) < end)
             f(i);
-        t_inPoolWork = false;
+        t_inPoolWork = prev;
     }
 
     void
@@ -138,6 +145,22 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
     std::unique_lock<std::mutex> lk(impl_->m);
     impl_->cvDone.wait(lk, [&] { return impl_->active == 0; });
     impl_->fn = nullptr;
+}
+
+bool
+ThreadPool::inWorkerContext()
+{
+    return t_inPoolWork;
+}
+
+ThreadPool::WorkerScope::WorkerScope() : prev_(t_inPoolWork)
+{
+    t_inPoolWork = true;
+}
+
+ThreadPool::WorkerScope::~WorkerScope()
+{
+    t_inPoolWork = prev_;
 }
 
 namespace {

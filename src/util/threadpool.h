@@ -59,6 +59,35 @@ class ThreadPool
                      std::size_t grain = 1);
 
     /**
+     * True while the current thread is inside pool work or inside a
+     * registered WorkerScope: any parallelFor call from such a thread
+     * degrades to an inline serial loop instead of fanning out.
+     */
+    static bool inWorkerContext();
+
+    /**
+     * RAII marker registering the current thread as an execution-layer
+     * worker for its lifetime. The task-graph runtime (src/runtime)
+     * wraps each of its workers in one: a graph worker that reaches a
+     * tower-parallel kernel then runs the kernel's parallelFor inline
+     * on itself — inter-op parallelism replaces intra-op parallelism —
+     * instead of contending for the global pool's job lock and
+     * oversubscribing the machine with pool workers on top of graph
+     * workers. Nests: the previous state is restored on destruction.
+     */
+    class WorkerScope
+    {
+      public:
+        WorkerScope();
+        ~WorkerScope();
+        WorkerScope(const WorkerScope &) = delete;
+        WorkerScope &operator=(const WorkerScope &) = delete;
+
+      private:
+        bool prev_;
+    };
+
+    /**
      * Process-wide pool, created on first use. Size: the CL_THREADS
      * environment variable if set, else the hardware concurrency.
      */

@@ -150,6 +150,31 @@ TEST(Fuzz, SmokeSweep)
     }
 }
 
+/** The differential exec leg: every seed must execute byte-identically
+ *  through the serial loop and the task-graph runtime, with equal
+ *  counter totals (the oracle enforces both internally). */
+TEST(Fuzz, ExecModesAgree)
+{
+    FuzzEnv &env = sharedEnv();
+    OracleOptions opts;
+    opts.execModes = {ExecMode::Serial, ExecMode::Graph};
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+        const GenProgram p = generateProgram(env, FuzzConfig{}, seed);
+        const OracleResult res = runOracle(env, p, opts);
+        EXPECT_TRUE(res.ok) << "seed " << seed << ": " << res.failure;
+    }
+    // ModRaise programs exercise the graph over bootstrap-entry ops.
+    FuzzConfig boot;
+    boot.allowModRaise = true;
+    boot.weights[static_cast<std::size_t>(GenKind::ModRaise)] = 2;
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+        const GenProgram p = generateProgram(env, boot, seed);
+        const OracleResult res = runOracle(env, p, opts);
+        EXPECT_TRUE(res.ok) << "boot seed " << seed << ": "
+                            << res.failure;
+    }
+}
+
 /**
  * The verdict must not depend on the execution backend: re-run a few
  * seeds through the CLI under a pinned thread count and the scalar

@@ -131,6 +131,77 @@ TEST(ParallelGrain, MapsFootprintToTripCount)
     EXPECT_EQ(parallelGrain(0), kParallelGrainWords);
 }
 
+TEST(ThreadPool, NestedCallRestoresWorkerFlag)
+{
+    // Regression: runIndices used to clear the in-pool-work flag
+    // unconditionally on exit, so after a *nested* parallelFor the
+    // worker forgot it was a worker and the next nested call tried to
+    // fan out from inside the pool (deadlock on the job lock).
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(8 * 32);
+    pool.parallelFor(0, 8, [&](std::size_t i) {
+        pool.parallelFor(0, 1, [](std::size_t) {});
+        // Still inside pool work here; this second nested call must
+        // inline too.
+        EXPECT_TRUE(ThreadPool::inWorkerContext());
+        pool.parallelFor(0, 32, [&](std::size_t j) {
+            hits[i * 32 + j].fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    EXPECT_FALSE(ThreadPool::inWorkerContext());
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, WorkerScopeInlinesParallelFor)
+{
+    ThreadPool pool(4);
+    EXPECT_FALSE(ThreadPool::inWorkerContext());
+    {
+        ThreadPool::WorkerScope scope;
+        EXPECT_TRUE(ThreadPool::inWorkerContext());
+        // Everything must run on this thread: the scope marks it as a
+        // graph worker, so tower fan-out degrades to an inline loop.
+        const auto self = std::this_thread::get_id();
+        std::vector<std::thread::id> ran_on(64);
+        pool.parallelFor(0, 64, [&](std::size_t i) {
+            ran_on[i] = std::this_thread::get_id();
+        });
+        for (std::size_t i = 0; i < 64; ++i)
+            EXPECT_EQ(ran_on[i], self) << "index " << i;
+        {
+            ThreadPool::WorkerScope nested;
+            EXPECT_TRUE(ThreadPool::inWorkerContext());
+        }
+        EXPECT_TRUE(ThreadPool::inWorkerContext()); // restored, not cleared
+    }
+    EXPECT_FALSE(ThreadPool::inWorkerContext());
+}
+
+TEST(ThreadPool, WorkerScopeThreadsActIndependently)
+{
+    // The scope is thread-local: marking one external thread must not
+    // change how other threads' parallelFor calls behave.
+    ThreadPool pool(4);
+    std::atomic<int> scoped_hits{0}, free_hits{0};
+    std::thread scoped([&] {
+        ThreadPool::WorkerScope scope;
+        pool.parallelFor(0, 100, [&](std::size_t) {
+            scoped_hits.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    std::thread free_caller([&] {
+        EXPECT_FALSE(ThreadPool::inWorkerContext());
+        pool.parallelFor(0, 100, [&](std::size_t) {
+            free_hits.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    scoped.join();
+    free_caller.join();
+    EXPECT_EQ(scoped_hits.load(), 100);
+    EXPECT_EQ(free_hits.load(), 100);
+}
+
 TEST(ThreadPool, GlobalPoolResize)
 {
     ThreadPool::setGlobalThreads(2);

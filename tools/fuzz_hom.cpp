@@ -40,6 +40,9 @@ usage()
         "  --schedule MODE    none, list or both: schedule mode(s) "
         "for\n"
         "                     the structural leg (default: none)\n"
+        "  --exec MODE        serial, graph or both: execution mode(s) "
+        "for\n"
+        "                     the ciphertext leg (default: serial)\n"
         "  --boot             also place bootstrap-entry ModRaise ops\n"
         "  --no-functional    skip the decrypt-check leg\n"
         "  --no-structural    skip the lower/simulate/verify leg\n"
@@ -104,6 +107,13 @@ main(int argc, char **argv)
                                                 ScheduleMode::List}
                     : std::vector<ScheduleMode>{
                           scheduleModeByName(v)};
+        } else if (arg == "--exec") {
+            const std::string v = value();
+            opts.execModes =
+                v == "both"
+                    ? std::vector<ExecMode>{ExecMode::Serial,
+                                            ExecMode::Graph}
+                    : std::vector<ExecMode>{execModeByName(v)};
         } else if (arg == "--boot") {
             fcfg.allowModRaise = true;
             fcfg.weights[static_cast<std::size_t>(GenKind::ModRaise)] =
