@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Shared entry point for the google-benchmark tools (cpu_kernels,
+ * host_bootstrap, host_runtime): one guard implementation instead of
+ * three drifting copies.
+ *
+ * The guard refuses to write checked-in benchmark tables
+ * (BENCH_*.json) when either
+ *   - this binary was compiled without -DCMAKE_BUILD_TYPE=Release
+ *     (CL_BENCH_BUILD_TYPE, baked in per target), or
+ *   - the google-benchmark *library* itself is a debug build. Distro
+ *     packages (e.g. Debian's libbenchmark-dev) ship the library with
+ *     NDEBUG unset; its per-iteration bookkeeping then runs assertion
+ *     paths and the numbers silently poison before/after comparisons
+ *     even when the application code is fully optimized. Build a
+ *     Release copy via -DCL_BENCHMARK_SOURCE_DIR (CMakeLists.txt) to
+ *     close the hole.
+ *
+ * `--force` overrides both checks for local experiments; the JSON
+ * context is stamped either way (cl_build_type,
+ * cl_library_build_type, cl_simd_default, cl_forced) so a forced
+ * table is distinguishable after the fact.
+ *
+ * Internal header: only the bench tool translation units include it.
+ */
+
+#ifndef CL_BENCH_BENCH_MAIN_H
+#define CL_BENCH_BENCH_MAIN_H
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rns/simd/kernels.h"
+
+#ifndef CL_BENCH_BUILD_TYPE
+#define CL_BENCH_BUILD_TYPE "unknown"
+#endif
+
+namespace cl {
+namespace bench {
+
+/**
+ * The build type the google-benchmark library reports about itself
+ * ("release" or "debug"), recovered at runtime: render an empty
+ * reporter context through JSONReporter into a string and parse the
+ * "library_build_type" key the library stamps into every JSON header.
+ * There is no API that exposes this directly, and a compile-time
+ * check can't see how the library binary was built.
+ */
+inline std::string
+libBuildType()
+{
+    std::ostringstream os;
+    benchmark::JSONReporter rep;
+    rep.SetOutputStream(&os);
+    rep.SetErrorStream(&os);
+    benchmark::BenchmarkReporter::Context ctx;
+    rep.ReportContext(ctx);
+    rep.Finalize();
+    const std::string s = os.str();
+    static const char kKey[] = "\"library_build_type\": \"";
+    const auto pos = s.find(kKey);
+    if (pos == std::string::npos)
+        return "unknown";
+    const auto start = pos + sizeof(kKey) - 1;
+    const auto end = s.find('"', start);
+    if (end == std::string::npos)
+        return "unknown";
+    return s.substr(start, end - start);
+}
+
+inline int
+clBenchMain(const char *tool, int argc, char **argv)
+{
+    bool force = false;
+    std::string out_path;
+    std::vector<char *> args;
+    args.reserve(static_cast<std::size_t>(argc) + 1);
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--force") == 0) {
+            force = true;
+            continue;
+        }
+        constexpr const char kOut[] = "--benchmark_out=";
+        if (std::strncmp(argv[i], kOut, sizeof(kOut) - 1) == 0)
+            out_path = argv[i] + sizeof(kOut) - 1;
+        args.push_back(argv[i]);
+    }
+    args.push_back(nullptr);
+
+    const auto slash = out_path.find_last_of('/');
+    const std::string base =
+        slash == std::string::npos ? out_path : out_path.substr(slash + 1);
+    const bool is_bench_table =
+        base.rfind("BENCH_", 0) == 0 && base.size() > 5 &&
+        base.compare(base.size() - 5, 5, ".json") == 0;
+    const bool release = std::strcmp(CL_BENCH_BUILD_TYPE, "Release") == 0;
+    const std::string lib_type = libBuildType();
+    const bool lib_release = lib_type == "release";
+
+    if (is_bench_table && !(release && lib_release)) {
+        const char *what;
+        const char *detail;
+        if (!release) {
+            what = "a non-Release build";
+            detail = CL_BENCH_BUILD_TYPE;
+        } else {
+            what = "a debug google-benchmark library";
+            detail = lib_type.c_str();
+        }
+        if (!force) {
+            std::fprintf(
+                stderr,
+                "%s: refusing to write %s from %s (%s); checked-in "
+                "BENCH_*.json tables must come from "
+                "-DCMAKE_BUILD_TYPE=Release with a release benchmark "
+                "library (see -DCL_BENCHMARK_SOURCE_DIR); pass --force "
+                "to override\n",
+                tool, base.c_str(), what, detail);
+            return 1;
+        }
+        std::fprintf(stderr,
+                     "%s: WARNING: writing %s from %s (%s) (--force)\n",
+                     tool, base.c_str(), what, detail);
+    }
+
+    benchmark::AddCustomContext("cl_build_type", CL_BENCH_BUILD_TYPE);
+    benchmark::AddCustomContext("cl_library_build_type", lib_type);
+    benchmark::AddCustomContext(
+        "cl_simd_default", cl::simdBackendName(cl::activeSimdBackend()));
+    if (force)
+        benchmark::AddCustomContext("cl_forced", "true");
+
+    int bench_argc = static_cast<int>(args.size()) - 1;
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace bench
+} // namespace cl
+
+#endif // CL_BENCH_BENCH_MAIN_H

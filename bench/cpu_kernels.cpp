@@ -369,6 +369,229 @@ BM_ChangeRnsBase(benchmark::State &state)
 }
 BENCHMARK(BM_ChangeRnsBase)->Arg(4)->Arg(8)->Arg(16);
 
+/** Selects fused/composed for one run per the benchmark arg,
+ *  restoring the previous gate on exit. */
+class FusionArg
+{
+  public:
+    FusionArg(benchmark::State &state, int arg_index)
+        : prev_(fusionEnabled()),
+          fused_(state.range(arg_index) != 0)
+    {
+        setFusionEnabled(fused_);
+    }
+    ~FusionArg() { setFusionEnabled(prev_); }
+
+    bool fused() const { return fused_; }
+
+  private:
+    bool prev_;
+    bool fused_;
+};
+
+void
+BM_InvNttScaleStage(benchmark::State &state)
+{
+    // The iNTT's final two passes — last Gentleman-Sande stage and the
+    // N^-1 scale — composed (three sweeps over the halves) vs the
+    // fused single-sweep kernel. Args: {backend, fused}.
+    BackendArg backend(state);
+    if (!backend.ok())
+        return;
+    FusionArg fuse(state, 1);
+    state.SetLabel(std::string(simdBackendName(backend.backend())) +
+                   (fuse.fused() ? "/fused" : "/composed"));
+    const std::size_t t = 1 << 13; // half of an N=2^14 tower
+    const u64 q = generateNttPrimes(28, 2 * t, 1)[0];
+    const ShoupMul w(q - 2, q);
+    const ShoupMul n_inv(invMod(2 * t % q, q), q);
+    std::vector<u64> x(t), y(t);
+    FastRng rng(21);
+    for (std::size_t i = 0; i < t; ++i) {
+        x[i] = rng.nextBelow(2 * q);
+        y[i] = rng.nextBelow(2 * q);
+    }
+    // Outputs are canonical (< q ⊂ [0, 2q)), so repeated application
+    // stays within the kernel's input domain.
+    for (auto _ : state) {
+        if (fuse.fused()) {
+            kernels().nttInvScaleButterflyVec(x.data(), y.data(), t,
+                                              w.w, w.wPrec, n_inv.w,
+                                              n_inv.wPrec, q);
+        } else {
+            kernels().nttInvButterflyVec(x.data(), y.data(), t, w.w,
+                                         w.wPrec, q);
+            kernels().nttScaleInvVec(x.data(), t, n_inv.w, n_inv.wPrec,
+                                     q);
+            kernels().nttScaleInvVec(y.data(), t, n_inv.w, n_inv.wPrec,
+                                     q);
+        }
+        benchmark::DoNotOptimize(x.data());
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * t);
+}
+BENCHMARK(BM_InvNttScaleStage)
+    ->Args({kScalar, 0})->Args({kScalar, 1})
+    ->Args({kAvx2, 0})->Args({kAvx2, 1})
+    ->Args({kAvx512, 0})->Args({kAvx512, 1});
+
+void
+BM_RescaleEpilogue(benchmark::State &state)
+{
+    // The coefficient-domain rescale correction for one kept tower:
+    // the composed per-coefficient loop (centered subtract + Shoup
+    // multiply, exactly the CL_FUSE=0 path) vs the fused epilogue
+    // kernel with the identity N^-1 pair. Args: {backend, fused}.
+    BackendArg backend(state);
+    if (!backend.ok())
+        return;
+    FusionArg fuse(state, 1);
+    state.SetLabel(std::string(simdBackendName(backend.backend())) +
+                   (fuse.fused() ? "/fused" : "/composed"));
+    const std::size_t n = 1 << 14;
+    auto primes = generateNttPrimes(28, n, 2);
+    const u64 q = primes[0], ql = primes[1];
+    const u64 half = ql / 2;
+    const ShoupMul ql_inv(invMod(ql % q, q), q);
+    const ShoupMul ident(1, q);
+    const RescaleConsts rc{ident.w, ident.wPrec, ql,
+                           half,    ql_inv.w,    ql_inv.wPrec};
+    std::vector<u64> a(n), xl(n);
+    FastRng rng(22);
+    for (std::size_t i = 0; i < n; ++i) {
+        a[i] = rng.nextBelow(q);
+        xl[i] = rng.nextBelow(ql);
+    }
+    for (auto _ : state) {
+        if (fuse.fused()) {
+            kernels().rescaleEpilogueVec(a.data(), xl.data(), n, &rc, q);
+        } else {
+            for (std::size_t i = 0; i < n; ++i) {
+                const u64 xl_shift = addMod(xl[i], half, ql);
+                const u64 xl_mod_q = subMod(xl_shift % q, half % q, q);
+                a[i] = ql_inv.mul(subMod(a[i], xl_mod_q, q), q);
+            }
+        }
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RescaleEpilogue)
+    ->Args({kScalar, 0})->Args({kScalar, 1})
+    ->Args({kAvx2, 0})->Args({kAvx2, 1})
+    ->Args({kAvx512, 0})->Args({kAvx512, 1});
+
+void
+BM_ModDownEpilogue(benchmark::State &state)
+{
+    // The keyswitch mod-down boundary: forward-NTT lazy correction
+    // plus the (acc - x) * P^-1 Shoup pass, composed (two sweeps) vs
+    // fused (one). Args: {backend, fused}.
+    BackendArg backend(state);
+    if (!backend.ok())
+        return;
+    FusionArg fuse(state, 1);
+    state.SetLabel(std::string(simdBackendName(backend.backend())) +
+                   (fuse.fused() ? "/fused" : "/composed"));
+    const std::size_t n = 1 << 14;
+    const u64 q = generateNttPrimes(28, n, 1)[0];
+    const ShoupMul w(q - 7, q);
+    std::vector<u64> x(n), acc(n), dst(n);
+    FastRng rng(23);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = rng.nextBelow(4 * q);
+        acc[i] = rng.nextBelow(q);
+    }
+    for (auto _ : state) {
+        if (fuse.fused()) {
+            kernels().nttCorrectSubMulShoupVec(dst.data(), acc.data(),
+                                               x.data(), n, w.w,
+                                               w.wPrec, q);
+        } else {
+            kernels().nttCorrectVec(x.data(), n, q);
+            kernels().subMulShoupVec(dst.data(), acc.data(), x.data(),
+                                     n, w.w, w.wPrec, q);
+        }
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ModDownEpilogue)
+    ->Args({kScalar, 0})->Args({kScalar, 1})
+    ->Args({kAvx2, 0})->Args({kAvx2, 1})
+    ->Args({kAvx512, 0})->Args({kAvx512, 1});
+
+void
+BM_KeySwitchInnerTiled(benchmark::State &state)
+{
+    // changeRNSBase at keyswitch shape (16 -> 16 towers): the tiled
+    // cache-resident pipeline (CL_FUSE default) vs the untiled
+    // scale-then-MAC sequence that round-trips the scaled residues
+    // through memory. Arg: fused.
+    FusionArg fuse(state, 0);
+    state.SetLabel(fuse.fused() ? "fused" : "composed");
+    const std::size_t n = 1 << 14;
+    const unsigned ls = 16;
+    auto primes = generateNttPrimes(28, n, 2 * ls);
+    RnsChain chain(n, primes);
+    std::vector<unsigned> src, dst;
+    for (unsigned i = 0; i < ls; ++i) {
+        src.push_back(i);
+        dst.push_back(ls + i);
+    }
+    BaseConverter conv(chain, src, dst);
+    std::vector<std::vector<u64>> in(ls, std::vector<u64>(n));
+    FastRng rng(24);
+    for (auto &res : in) {
+        for (auto &v : res)
+            v = rng.nextBelow(primes[0]);
+    }
+    std::vector<std::vector<u64>> out;
+    for (auto _ : state) {
+        conv.convert(in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * ls * ls); // MACs
+}
+BENCHMARK(BM_KeySwitchInnerTiled)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_RescaleTower(benchmark::State &state)
+{
+    // Whole-poly rescale in the NTT domain (the evaluator's hot path
+    // after every multiply): fused per-tower iNTT/correction/NTT
+    // pipeline vs the composed toCoeff / correct / toNtt round trip.
+    // Arg: fused.
+    FusionArg fuse(state, 0);
+    state.SetLabel(fuse.fused() ? "fused" : "composed");
+    const std::size_t n = 1 << 14;
+    const unsigned towers = 8;
+    auto primes = generateNttPrimes(28, n, towers);
+    RnsChain chain(n, primes);
+    std::vector<unsigned> idx;
+    for (unsigned i = 0; i < towers; ++i)
+        idx.push_back(i);
+    RnsPoly base(chain, idx, false);
+    FastRng rng(25);
+    for (std::size_t t = 0; t < towers; ++t) {
+        for (auto &v : base.residue(t))
+            v = rng.nextBelow(base.modulus(t));
+    }
+    base.toNtt();
+    for (auto _ : state) {
+        state.PauseTiming();
+        RnsPoly p = base;
+        state.ResumeTiming();
+        p.rescaleLastTower();
+        benchmark::DoNotOptimize(p.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * (towers - 1) * n);
+}
+BENCHMARK(BM_RescaleTower)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 void
 BM_KshGenExpansion(benchmark::State &state)
 {
@@ -402,69 +625,10 @@ BENCHMARK(BM_KeccakF1600);
 
 } // namespace
 
-#ifndef CL_BENCH_BUILD_TYPE
-#define CL_BENCH_BUILD_TYPE "unknown"
-#endif
+#include "bench_main.h"
 
-/**
- * Custom main: refuse to write checked-in benchmark tables
- * (BENCH_*.json) from a non-Release build. Debug/RelWithDebInfo
- * numbers silently poison before/after comparisons; `--force`
- * overrides for local experiments. The build type and active kernel
- * backend are stamped into the JSON context either way.
- */
 int
 main(int argc, char **argv)
 {
-    bool force = false;
-    std::string out_path;
-    std::vector<char *> args;
-    args.reserve(static_cast<std::size_t>(argc) + 1);
-    for (int i = 0; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--force") == 0) {
-            force = true;
-            continue;
-        }
-        constexpr const char kOut[] = "--benchmark_out=";
-        if (std::strncmp(argv[i], kOut, sizeof(kOut) - 1) == 0)
-            out_path = argv[i] + sizeof(kOut) - 1;
-        args.push_back(argv[i]);
-    }
-    args.push_back(nullptr);
-
-    const auto slash = out_path.find_last_of('/');
-    const std::string base =
-        slash == std::string::npos ? out_path : out_path.substr(slash + 1);
-    const bool is_bench_table =
-        base.rfind("BENCH_", 0) == 0 && base.size() > 5 &&
-        base.compare(base.size() - 5, 5, ".json") == 0;
-    const bool release = std::strcmp(CL_BENCH_BUILD_TYPE, "Release") == 0;
-    if (is_bench_table && !release) {
-        if (!force) {
-            std::fprintf(stderr,
-                         "cpu_kernels: refusing to write %s from a %s "
-                         "build; checked-in BENCH_*.json tables must "
-                         "come from -DCMAKE_BUILD_TYPE=Release "
-                         "(pass --force to override)\n",
-                         base.c_str(), CL_BENCH_BUILD_TYPE);
-            return 1;
-        }
-        std::fprintf(stderr,
-                     "cpu_kernels: WARNING: writing %s from a %s build "
-                     "(--force)\n",
-                     base.c_str(), CL_BENCH_BUILD_TYPE);
-    }
-
-    benchmark::AddCustomContext("cl_build_type", CL_BENCH_BUILD_TYPE);
-    benchmark::AddCustomContext(
-        "cl_simd_default",
-        cl::simdBackendName(cl::activeSimdBackend()));
-
-    int bench_argc = static_cast<int>(args.size()) - 1;
-    benchmark::Initialize(&bench_argc, args.data());
-    if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
-        return 1;
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    return 0;
+    return cl::bench::clBenchMain("cpu_kernels", argc, argv);
 }

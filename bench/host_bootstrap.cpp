@@ -96,13 +96,36 @@ host()
     return h;
 }
 
-/** 0 = naive_fresh, 1 = naive_cached, 2 = hoisted, 3 = lazy_square,
- *  4 = lazy (default wide split). */
+/** Selects fused/composed pipelines for one run per the benchmark
+ *  arg, restoring the previous gate on exit. */
+class FusionArg
+{
+  public:
+    FusionArg(benchmark::State &state, int arg_index)
+        : prev_(fusionEnabled()),
+          fused_(state.range(arg_index) != 0)
+    {
+        setFusionEnabled(fused_);
+    }
+    ~FusionArg() { setFusionEnabled(prev_); }
+
+    bool fused() const { return fused_; }
+
+  private:
+    bool prev_;
+    bool fused_;
+};
+
+/** Arg 0: 0 = naive_fresh, 1 = naive_cached, 2 = hoisted,
+ *  3 = lazy_square, 4 = lazy (default wide split).
+ *  Arg 1: fused kernel pipelines (CL_FUSE) on/off; the composed leg
+ *  is benchmarked only for the headline lazy variant. */
 void
 BM_CoeffToSlot(benchmark::State &state)
 {
     Host &h = host();
     const int variant = static_cast<int>(state.range(0));
+    FusionArg fuse(state, 1);
     const Bootstrapper &boot = variant == 0   ? *h.uncached
                                : variant == 4 ? *h.wide
                                               : *h.cached;
@@ -113,7 +136,8 @@ BM_CoeffToSlot(benchmark::State &state)
     static const char *const kNames[] = {"naive_fresh", "naive_cached",
                                          "hoisted", "lazy_square",
                                          "lazy"};
-    state.SetLabel(kNames[variant]);
+    state.SetLabel(std::string(kNames[variant]) +
+                   (fuse.fused() ? "" : "/composed"));
 
     // Prime the diagonal cache outside the timed region.
     benchmark::DoNotOptimize(boot.applyCoeffToSlot(h.top, mode));
@@ -124,21 +148,26 @@ BM_CoeffToSlot(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CoeffToSlot)
-    ->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4)
+    ->Args({0, 1})->Args({1, 1})->Args({2, 1})->Args({3, 1})
+    ->Args({4, 1})->Args({4, 0})
     ->Unit(benchmark::kMillisecond);
 
+/** Arg 0: naive vs lazy pipeline; arg 1: fused kernel pipelines
+ *  on/off (composed leg only for the lazy pipeline). */
 void
 BM_Bootstrap(benchmark::State &state)
 {
     Host &h = host();
     const bool lazy = state.range(0) != 0;
+    FusionArg fuse(state, 1);
     BootstrapParams bp;
     bp.ltMode = lazy ? LinearTransformMode::HoistedLazy
                      : LinearTransformMode::Naive;
     bp.cacheDiagonals = lazy; // naive leg models the historical cost
     if (!lazy)
         bp.ltBabySteps = 16; // historical square split
-    state.SetLabel(lazy ? "lazy_cached" : "naive_fresh");
+    state.SetLabel(std::string(lazy ? "lazy_cached" : "naive_fresh") +
+                   (fuse.fused() ? "" : "/composed"));
     Bootstrapper boot(*h.ctx, *h.enc, *h.keygen, bp);
     // Prime the diagonal caches (including the wide ext-basis
     // plaintexts) outside the timed region.
@@ -149,71 +178,74 @@ BM_Bootstrap(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_Bootstrap)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Bootstrap)
+    ->Args({0, 1})->Args({1, 1})->Args({1, 0})
+    ->Unit(benchmark::kMillisecond);
+
+/** Tower-tiled keyswitch inner product at a bandwidth-bound shape:
+ *  logN = 13, dnum = 4 digits over a 20-tower extended basis, so one
+ *  digit image is ~1.3 MB — past the CL_FUSE_TILE floor where the
+ *  tiled sweep engages (the logN = 9 benchmarks above sit below it
+ *  and adaptively fall back). Includes the rotation gather. Arg:
+ *  fused (tiled) vs composed (materialized rotated digits). */
+void
+BM_KeySwitchInnerProduct(benchmark::State &state)
+{
+    struct Ip
+    {
+        std::unique_ptr<CkksContext> ctx;
+        std::unique_ptr<CkksEncoder> enc;
+        std::unique_ptr<KeyGenerator> keygen;
+        std::unique_ptr<Evaluator> eval;
+        GaloisKeys galois;
+        std::size_t gal = 0;
+        KeySwitchDigits digits;
+
+        Ip()
+        {
+            CkksParams p;
+            p.logN = 13;
+            p.l = 16;
+            p.alpha = 4;
+            p.firstModBits = 50;
+            p.scaleBits = 40;
+            p.specialBits = 50;
+            ctx = std::make_unique<CkksContext>(p);
+            enc = std::make_unique<CkksEncoder>(*ctx);
+            keygen = std::make_unique<KeyGenerator>(*ctx);
+            eval = std::make_unique<Evaluator>(*ctx);
+            galois = keygen->genRotationKeys({1}, /*conjugate=*/false);
+            gal = eval->galoisFromSteps(1);
+            const PublicKey pk = keygen->genPublicKey();
+            Encryptor encryptor(*ctx, pk, 7);
+            FastRng rng(31);
+            std::vector<Complex> v(ctx->slots());
+            for (auto &z : v)
+                z = Complex(rng.nextDouble() - 0.5, 0);
+            const Ciphertext ct = encryptor.encryptValues(
+                *enc, v, ctx->params().scale(), ctx->l());
+            digits = eval->decompose(ct.c1, ctx->alpha());
+        }
+    };
+    static Ip ip;
+    FusionArg fuse(state, 0);
+    state.SetLabel(fuse.fused() ? "tiled" : "composed");
+    for (auto _ : state) {
+        auto acc = ip.eval->innerProduct(ip.digits,
+                                         ip.galois.at(ip.gal), ip.gal);
+        benchmark::DoNotOptimize(acc.first.data().data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KeySwitchInnerProduct)->Arg(1)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-#ifndef CL_BENCH_BUILD_TYPE
-#define CL_BENCH_BUILD_TYPE "unknown"
-#endif
+#include "bench_main.h"
 
-/**
- * Custom main, as in cpu_kernels: refuse to write checked-in
- * BENCH_*.json tables from a non-Release build (--force overrides);
- * stamp build type and default kernel backend into the JSON context.
- */
 int
 main(int argc, char **argv)
 {
-    bool force = false;
-    std::string out_path;
-    std::vector<char *> args;
-    args.reserve(static_cast<std::size_t>(argc) + 1);
-    for (int i = 0; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--force") == 0) {
-            force = true;
-            continue;
-        }
-        constexpr const char kOut[] = "--benchmark_out=";
-        if (std::strncmp(argv[i], kOut, sizeof(kOut) - 1) == 0)
-            out_path = argv[i] + sizeof(kOut) - 1;
-        args.push_back(argv[i]);
-    }
-    args.push_back(nullptr);
-
-    const auto slash = out_path.find_last_of('/');
-    const std::string base =
-        slash == std::string::npos ? out_path : out_path.substr(slash + 1);
-    const bool is_bench_table =
-        base.rfind("BENCH_", 0) == 0 && base.size() > 5 &&
-        base.compare(base.size() - 5, 5, ".json") == 0;
-    const bool release = std::strcmp(CL_BENCH_BUILD_TYPE, "Release") == 0;
-    if (is_bench_table && !release) {
-        if (!force) {
-            std::fprintf(stderr,
-                         "host_bootstrap: refusing to write %s from a %s "
-                         "build; checked-in BENCH_*.json tables must "
-                         "come from -DCMAKE_BUILD_TYPE=Release "
-                         "(pass --force to override)\n",
-                         base.c_str(), CL_BENCH_BUILD_TYPE);
-            return 1;
-        }
-        std::fprintf(stderr,
-                     "host_bootstrap: WARNING: writing %s from a %s "
-                     "build (--force)\n",
-                     base.c_str(), CL_BENCH_BUILD_TYPE);
-    }
-
-    benchmark::AddCustomContext("cl_build_type", CL_BENCH_BUILD_TYPE);
-    benchmark::AddCustomContext(
-        "cl_simd_default",
-        cl::simdBackendName(cl::activeSimdBackend()));
-
-    int bench_argc = static_cast<int>(args.size()) - 1;
-    benchmark::Initialize(&bench_argc, args.data());
-    if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
-        return 1;
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    return 0;
+    return cl::bench::clBenchMain("host_bootstrap", argc, argv);
 }

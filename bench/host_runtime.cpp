@@ -259,68 +259,13 @@ BENCHMARK(BM_PoolChurn)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-#ifndef CL_BENCH_BUILD_TYPE
-#define CL_BENCH_BUILD_TYPE "unknown"
-#endif
+#include "bench_main.h"
 
-/** Custom main, as in host_bootstrap: refuse to write checked-in
- *  BENCH_*.json tables from a non-Release build (--force overrides);
- *  stamp build type, SIMD backend, and the host's core count. */
 int
 main(int argc, char **argv)
 {
-    bool force = false;
-    std::string out_path;
-    std::vector<char *> args;
-    args.reserve(static_cast<std::size_t>(argc) + 1);
-    for (int i = 0; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--force") == 0) {
-            force = true;
-            continue;
-        }
-        constexpr const char kOut[] = "--benchmark_out=";
-        if (std::strncmp(argv[i], kOut, sizeof(kOut) - 1) == 0)
-            out_path = argv[i] + sizeof(kOut) - 1;
-        args.push_back(argv[i]);
-    }
-    args.push_back(nullptr);
-
-    const auto slash = out_path.find_last_of('/');
-    const std::string base =
-        slash == std::string::npos ? out_path : out_path.substr(slash + 1);
-    const bool is_bench_table =
-        base.rfind("BENCH_", 0) == 0 && base.size() > 5 &&
-        base.compare(base.size() - 5, 5, ".json") == 0;
-    const bool release = std::strcmp(CL_BENCH_BUILD_TYPE, "Release") == 0;
-    if (is_bench_table && !release) {
-        if (!force) {
-            std::fprintf(stderr,
-                         "host_runtime: refusing to write %s from a %s "
-                         "build; checked-in BENCH_*.json tables must "
-                         "come from -DCMAKE_BUILD_TYPE=Release "
-                         "(pass --force to override)\n",
-                         base.c_str(), CL_BENCH_BUILD_TYPE);
-            return 1;
-        }
-        std::fprintf(stderr,
-                     "host_runtime: WARNING: writing %s from a %s "
-                     "build (--force)\n",
-                     base.c_str(), CL_BENCH_BUILD_TYPE);
-    }
-
-    benchmark::AddCustomContext("cl_build_type", CL_BENCH_BUILD_TYPE);
-    benchmark::AddCustomContext(
-        "cl_simd_default",
-        cl::simdBackendName(cl::activeSimdBackend()));
     benchmark::AddCustomContext(
         "cl_host_cpus",
         std::to_string(std::thread::hardware_concurrency()));
-
-    int bench_argc = static_cast<int>(args.size()) - 1;
-    benchmark::Initialize(&bench_argc, args.data());
-    if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
-        return 1;
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
-    return 0;
+    return cl::bench::clBenchMain("host_runtime", argc, argv);
 }

@@ -70,6 +70,7 @@ RnsPoly::operator+=(const RnsPoly &other)
 {
     checkCompatible(other);
     countAdds(towers());
+    countMemPass(towers(), u64{towers()} * 16 * n_);
     const KernelTable &K = kernels();
     parallelFor(
         0, towers(),
@@ -86,6 +87,7 @@ RnsPoly::operator-=(const RnsPoly &other)
 {
     checkCompatible(other);
     countAdds(towers());
+    countMemPass(towers(), u64{towers()} * 16 * n_);
     const KernelTable &K = kernels();
     parallelFor(
         0, towers(),
@@ -103,6 +105,7 @@ RnsPoly::operator*=(const RnsPoly &other)
     checkCompatible(other);
     CL_ASSERT(ntt_, "element-wise multiply requires NTT form");
     countMults(towers());
+    countMemPass(towers(), u64{towers()} * 16 * n_);
     const KernelTable &K = kernels();
     parallelFor(
         0, towers(),
@@ -122,6 +125,7 @@ RnsPoly::addMulAssign(const RnsPoly &a, const RnsPoly &b)
     CL_ASSERT(chain_ == a.chain_, "mixing RNS chains");
     countMults(towers());
     countAdds(towers());
+    countMemPass(towers(), u64{towers()} * 24 * n_);
 
     // Position map from our chain indices into a's towers (a may span
     // a superset basis; see subset() for the same idiom).
@@ -153,6 +157,7 @@ void
 RnsPoly::negate()
 {
     countAdds(towers());
+    countMemPass(towers(), u64{towers()} * 8 * n_);
     const KernelTable &K = kernels();
     parallelFor(
         0, towers(),
@@ -174,6 +179,7 @@ void
 RnsPoly::mulScalarTower(std::size_t t, u64 s)
 {
     countMults(1);
+    countMemPass(1, u64{8} * n_);
     const u64 q = modulus(t);
     const ShoupMul m(s % q, q);
     u64 *a = data_.data() + t * n_;
@@ -204,17 +210,72 @@ RnsPoly::rescaleLastTower()
 {
     CL_ASSERT(towers() >= 2, "cannot rescale a single-tower polynomial");
     const bool was_ntt = ntt_;
-    toCoeff();
-
     const std::size_t last = towers() - 1;
     const u64 ql = modulus(last);
-    const u64 *xl = data_.data() + last * n_;
     const u64 half = ql / 2;
+
+    if (fusionEnabled()) {
+        // Single-pass-per-tower pipeline (DESIGN.md §5e). One
+        // correction per kept tower — a centered subtract plus a Shoup
+        // multiply by q_last^-1 — exactly as the composed path, but
+        // fused into the NTT boundary passes so each tower is swept
+        // once per stage instead of round-tripping through separate
+        // iNTT-scale / subtract / multiply / NTT-stage-1 sweeps.
+        countMults(last);
+        countAdds(last);
+        if (was_ntt) {
+            // Only the dropped tower leaves the NTT domain (canonical
+            // residues for the correction); each kept tower runs
+            // inverseLazy -> correction fused into the first forward
+            // stage -> remaining forward stages, staying cache-resident
+            // between the inverse and forward halves.
+            chain_->ntt(modIdx_[last]).inverse(data_.data() + last * n_);
+            const u64 *xl = data_.data() + last * n_;
+            parallelFor(0, last, [&](std::size_t t) {
+                const u64 qt = modulus(t);
+                const ShoupMul ql_inv(invMod(ql % qt, qt), qt);
+                const NttTables &ntt = chain_->ntt(modIdx_[t]);
+                const RescaleConsts rc{ntt.nInv().w, ntt.nInv().wPrec,
+                                       ql,           half,
+                                       ql_inv.w,     ql_inv.wPrec};
+                u64 *a = data_.data() + t * n_;
+                ntt.inverseLazy(a);
+                ntt.forwardRescale(a, xl, rc);
+            });
+        } else {
+            const u64 *xl = data_.data() + last * n_;
+            const KernelTable &K = kernels();
+            countMemPass(last, u64{last} * 16 * n_);
+            parallelFor(
+                0, last,
+                [&](std::size_t t) {
+                    const u64 qt = modulus(t);
+                    const ShoupMul ql_inv(invMod(ql % qt, qt), qt);
+                    // Identity N^-1 pair: mulLazy(x, 1) == x for x < q,
+                    // so the shared epilogue kernel applies the
+                    // correction without a pending iNTT scale.
+                    const ShoupMul ident(1, qt);
+                    const RescaleConsts rc{ident.w, ident.wPrec,
+                                           ql,      half,
+                                           ql_inv.w, ql_inv.wPrec};
+                    K.rescaleEpilogueVec(data_.data() + t * n_, xl, n_,
+                                         &rc, qt);
+                },
+                parallelGrain(n_));
+        }
+        data_.resize(last * n_);
+        modIdx_.pop_back();
+        return;
+    }
+
+    toCoeff();
+    const u64 *xl = data_.data() + last * n_;
     // One correction pass per kept tower: a centered subtract plus a
     // Shoup multiply by q_last^-1 (the same mult+add the lowering
     // models per remaining residue).
     countMults(last);
     countAdds(last);
+    countMemPass(last, u64{last} * 16 * n_);
 
     parallelFor(
         0, last,

@@ -79,6 +79,7 @@ void
 AutomorphismMap::applyCoeff(const u64 *in, u64 *out, u64 q) const
 {
     countAutomorphisms(1);
+    countMemPass(1, u64{16} * n_);
     for (std::size_t i = 0; i < n_; ++i) {
         const u64 v = in[i];
         out[coeffDst_[i]] = coeffNeg_[i] ? (v == 0 ? 0 : q - v) : v;
@@ -89,6 +90,7 @@ void
 AutomorphismMap::applyNtt(const u64 *in, u64 *out) const
 {
     countAutomorphisms(1);
+    countMemPass(1, u64{16} * n_);
     kernels().gatherVec(out, in, nttSrc_.data(), n_);
 }
 

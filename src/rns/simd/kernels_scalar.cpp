@@ -25,6 +25,10 @@ scalarTable()
         &ref::nttInvButterflyVec,
         &ref::nttCorrectVec,
         &ref::nttScaleInvVec,
+        &ref::nttInvScaleButterflyVec,
+        &ref::rescaleEpilogueVec,
+        &ref::rescaleNttFwdButterflyVec,
+        &ref::nttCorrectSubMulShoupVec,
     };
     return &table;
 }

@@ -118,6 +118,73 @@ countAutomorphisms(std::uint64_t k)
     kernelCounters().automorphisms.fetch_add(k, std::memory_order_relaxed);
 }
 
+/**
+ * Memory-traffic counters, kept separate from KernelCounts so the
+ * model-vs-measurement comparisons above stay exactly four fields.
+ *
+ * CraterLake's thesis is that FHE kernels are bound by data movement,
+ * not arithmetic (Sec 3); these counters make the host-side analog
+ * visible. A *pass* is one streaming sweep of a kernel over its
+ * operand arrays; *bytes* is 8x the operand words the sweep touches
+ * (each read or written array counts once per sweep). Fused kernels
+ * charge one pass over the union of their operands where the composed
+ * sequence charges one pass per constituent kernel, so
+ * fused < composed in both fields on the same workload. Scratch that
+ * stays cache-resident inside a fused/tiled pipeline (e.g. the
+ * per-block scaled residues of the tiled base conversion) is
+ * deliberately not charged: the whole point of fusion is that those
+ * words never round-trip DRAM.
+ */
+struct MemTraffic
+{
+    std::uint64_t passes = 0;
+    std::uint64_t bytes = 0;
+
+    friend MemTraffic
+    operator-(const MemTraffic &a, const MemTraffic &b)
+    {
+        return {a.passes - b.passes, a.bytes - b.bytes};
+    }
+
+    friend bool operator==(const MemTraffic &, const MemTraffic &) = default;
+};
+
+/** Global memory-traffic counters (one instance per process). */
+struct MemTrafficCounters
+{
+    std::atomic<std::uint64_t> passes{0};
+    std::atomic<std::uint64_t> bytes{0};
+
+    MemTraffic
+    snapshot() const
+    {
+        return {passes.load(std::memory_order_relaxed),
+                bytes.load(std::memory_order_relaxed)};
+    }
+
+    void
+    reset()
+    {
+        passes.store(0, std::memory_order_relaxed);
+        bytes.store(0, std::memory_order_relaxed);
+    }
+};
+
+inline MemTrafficCounters &
+memTraffic()
+{
+    static MemTrafficCounters counters;
+    return counters;
+}
+
+/** Charge @p p kernel sweeps moving @p b bytes total. */
+inline void
+countMemPass(std::uint64_t p, std::uint64_t b)
+{
+    memTraffic().passes.fetch_add(p, std::memory_order_relaxed);
+    memTraffic().bytes.fetch_add(b, std::memory_order_relaxed);
+}
+
 } // namespace cl
 
 #endif // CL_UTIL_INSTRUMENT_H

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Evaluator-level contracts for the fused kernel pipelines (CL_FUSE,
+ * DESIGN.md §5e):
+ *  - every fused pipeline (rescale, keyswitch inner product, hoisted
+ *    rotation, modDown) is byte-identical to the composed multi-pass
+ *    sequence it replaces, on every available SIMD backend;
+ *  - the OpCounter model and the instrumented kernel counts are both
+ *    invariant under fusion — fusing changes memory passes, never the
+ *    modular-arithmetic work;
+ *  - the memory-traffic counters record strictly fewer passes and
+ *    bytes for the fused pipelines on the same workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "rns/simd/kernels.h"
+#include "util/instrument.h"
+
+namespace cl {
+namespace {
+
+class BackendGuard
+{
+  public:
+    BackendGuard() : saved_(activeSimdBackend()) {}
+    ~BackendGuard() { setSimdBackend(saved_); }
+
+  private:
+    SimdBackend saved_;
+};
+
+class FusionGuard
+{
+  public:
+    FusionGuard() : saved_(fusionEnabled()) {}
+    ~FusionGuard() { setFusionEnabled(saved_); }
+
+  private:
+    bool saved_;
+};
+
+class TileGuard
+{
+  public:
+    TileGuard() : saved_(fusionTileMinBytes()) {}
+    ~TileGuard() { setFusionTileMinBytes(saved_); }
+
+  private:
+    u64 saved_;
+};
+
+std::vector<SimdBackend>
+availableBackends()
+{
+    std::vector<SimdBackend> v{SimdBackend::Scalar};
+    for (SimdBackend b : {SimdBackend::Avx2, SimdBackend::Avx512}) {
+        if (kernelTableFor(b))
+            v.push_back(b);
+    }
+    return v;
+}
+
+bool
+sameCiphertext(const Ciphertext &a, const Ciphertext &b)
+{
+    return a.c0.data() == b.c0.data() && a.c1.data() == b.c1.data() &&
+           a.scale == b.scale;
+}
+
+class FusionTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // The test parameters are far below the adaptive tile floor
+        // (the digit image fits in cache); force the tiled inner
+        // product on so the fused path under test actually runs.
+        setFusionTileMinBytes(0);
+        ctx_ = std::make_unique<CkksContext>(CkksParams::testSmall());
+        enc_ = std::make_unique<CkksEncoder>(*ctx_);
+        keygen_ = std::make_unique<KeyGenerator>(*ctx_);
+        pk_ = keygen_->genPublicKey();
+        encryptor_ = std::make_unique<Encryptor>(*ctx_, pk_);
+        eval_ = std::make_unique<Evaluator>(*ctx_);
+        relin_ = keygen_->genRelinKey();
+        galois_ = keygen_->genRotationKeys({1}, /*conjugate=*/false);
+    }
+
+    Ciphertext
+    encryptRandom(std::uint64_t seed)
+    {
+        FastRng rng(seed);
+        std::vector<Complex> v(ctx_->slots());
+        for (auto &z : v)
+            z = Complex(rng.nextDouble() * 2 - 1, 0);
+        const double scale = ctx_->params().scale();
+        return encryptor_->encrypt(
+            enc_->encode(v, scale, ctx_->params().l), scale);
+    }
+
+    /** The pipeline under test: exercises tensor + relinearize
+     *  (keyswitch inner product + modDown), rescale on both the NTT
+     *  and coefficient paths, and a rotation (automorphism-fused
+     *  inner product). Deterministic given the inputs. */
+    Ciphertext
+    runPipeline(const Ciphertext &a, const Ciphertext &b) const
+    {
+        Ciphertext prod = eval_->multiply(a, b, relin_);
+        eval_->rescale(prod);
+        Ciphertext rot = eval_->rotate(prod, 1, galois_);
+        Ciphertext sum = eval_->add(rot, prod);
+        Ciphertext sq = eval_->square(sum, relin_);
+        eval_->rescale(sq);
+        return sq;
+    }
+
+    TileGuard tile_guard_;
+    std::unique_ptr<CkksContext> ctx_;
+    std::unique_ptr<CkksEncoder> enc_;
+    std::unique_ptr<KeyGenerator> keygen_;
+    PublicKey pk_;
+    std::unique_ptr<Encryptor> encryptor_;
+    std::unique_ptr<Evaluator> eval_;
+    SwitchKey relin_;
+    GaloisKeys galois_;
+};
+
+TEST_F(FusionTest, PipelineByteIdenticalAcrossFusionAndBackends)
+{
+    BackendGuard backend_guard;
+    FusionGuard fusion_guard;
+    const Ciphertext a = encryptRandom(101);
+    const Ciphertext b = encryptRandom(202);
+
+    setFusionEnabled(false);
+    ASSERT_TRUE(setSimdBackend(SimdBackend::Scalar));
+    const Ciphertext composed = runPipeline(a, b);
+
+    for (SimdBackend backend : availableBackends()) {
+        ASSERT_TRUE(setSimdBackend(backend));
+        setFusionEnabled(true);
+        const Ciphertext fused = runPipeline(a, b);
+        EXPECT_TRUE(sameCiphertext(fused, composed))
+            << "fused != composed on " << simdBackendName(backend);
+
+        setFusionEnabled(false);
+        const Ciphertext composed_b = runPipeline(a, b);
+        EXPECT_TRUE(sameCiphertext(composed_b, composed))
+            << "composed drifted on " << simdBackendName(backend);
+    }
+}
+
+TEST_F(FusionTest, HoistedRotationFusedMatchesComposed)
+{
+    // The 3-arg innerProduct (automorphism fused into the tower-tiled
+    // MAC sweep) against the explicit automorphismDigits + composed
+    // inner product, via the public hoisted-rotation API.
+    FusionGuard fusion_guard;
+    const Ciphertext ct = encryptRandom(303);
+    const std::size_t galois = eval_->galoisFromSteps(1);
+    const KeySwitchDigits digits =
+        eval_->decompose(ct.c1, ctx_->alpha());
+
+    setFusionEnabled(false);
+    const Ciphertext composed = eval_->rotateByGaloisHoisted(
+        ct, galois, galois_.at(galois), digits);
+
+    setFusionEnabled(true);
+    const Ciphertext fused = eval_->rotateByGaloisHoisted(
+        ct, galois, galois_.at(galois), digits);
+
+    EXPECT_TRUE(sameCiphertext(fused, composed));
+}
+
+TEST_F(FusionTest, OpCountsInvariantUnderFusion)
+{
+    // Fusion reorganizes memory passes; it must not change the modular
+    // arithmetic. Both the model (OpCounter) and the measurement
+    // (kernel counters) must be identical between the two paths, and
+    // model must equal measurement on each.
+    FusionGuard fusion_guard;
+    const Ciphertext a = encryptRandom(404);
+    const Ciphertext b = encryptRandom(505);
+
+    auto measure = [&](bool fuse) {
+        setFusionEnabled(fuse);
+        ctx_->ops().reset();
+        kernelCounters().reset();
+        runPipeline(a, b);
+        return std::make_pair(OpCounter(ctx_->ops()),
+                              kernelCounters().snapshot());
+    };
+
+    const auto [model_f, meas_f] = measure(true);
+    const auto [model_c, meas_c] = measure(false);
+
+    EXPECT_EQ(model_f.polyMults, model_c.polyMults);
+    EXPECT_EQ(model_f.polyAdds, model_c.polyAdds);
+    EXPECT_EQ(model_f.ntts, model_c.ntts);
+    EXPECT_EQ(model_f.automorphisms, model_c.automorphisms);
+    EXPECT_EQ(model_f.decomposes, model_c.decomposes);
+    EXPECT_EQ(model_f.innerProducts, model_c.innerProducts);
+    EXPECT_EQ(model_f.modDowns, model_c.modDowns);
+
+    EXPECT_EQ(meas_f.mults, meas_c.mults);
+    EXPECT_EQ(meas_f.adds, meas_c.adds);
+    EXPECT_EQ(meas_f.ntts, meas_c.ntts);
+    EXPECT_EQ(meas_f.automorphisms, meas_c.automorphisms);
+
+    for (const auto &[model, meas] :
+         {std::make_pair(model_f, meas_f),
+          std::make_pair(model_c, meas_c)}) {
+        EXPECT_EQ(model.polyMults, meas.mults);
+        EXPECT_EQ(model.polyAdds, meas.adds);
+        EXPECT_EQ(model.ntts, meas.ntts);
+        EXPECT_EQ(model.automorphisms, meas.automorphisms);
+    }
+}
+
+TEST_F(FusionTest, TileFloorFallsBackToComposed)
+{
+    // Above the floor the 3-arg innerProduct must route to the
+    // composed per-digit path even with fusion on — and produce the
+    // same bytes, so the adaptive crossover is invisible to callers.
+    FusionGuard fusion_guard;
+    const Ciphertext ct = encryptRandom(808);
+    const std::size_t galois = eval_->galoisFromSteps(1);
+    const KeySwitchDigits digits =
+        eval_->decompose(ct.c1, ctx_->alpha());
+
+    setFusionEnabled(true);
+    setFusionTileMinBytes(0); // tiled
+    const Ciphertext tiled = eval_->rotateByGaloisHoisted(
+        ct, galois, galois_.at(galois), digits);
+
+    setFusionTileMinBytes(~u64{0} - 1); // unreachably high: composed
+    const Ciphertext untiled = eval_->rotateByGaloisHoisted(
+        ct, galois, galois_.at(galois), digits);
+
+    EXPECT_TRUE(sameCiphertext(tiled, untiled));
+}
+
+TEST(FusionTile, FloorSetAndRestore)
+{
+    const u64 saved = fusionTileMinBytes();
+    setFusionTileMinBytes(12345);
+    EXPECT_EQ(fusionTileMinBytes(), 12345u);
+    setFusionTileMinBytes(saved);
+    EXPECT_EQ(fusionTileMinBytes(), saved);
+}
+
+TEST_F(FusionTest, MemTrafficStrictlySmallerFused)
+{
+    // The point of the whole exercise: the fused pipelines must move
+    // fewer bytes in fewer passes on the same workload.
+    FusionGuard fusion_guard;
+    const Ciphertext a = encryptRandom(606);
+    const Ciphertext b = encryptRandom(707);
+
+    auto measure = [&](bool fuse) {
+        setFusionEnabled(fuse);
+        memTraffic().reset();
+        runPipeline(a, b);
+        return memTraffic().snapshot();
+    };
+
+    const MemTraffic fused = measure(true);
+    const MemTraffic composed = measure(false);
+
+    EXPECT_GT(fused.passes, 0u);
+    EXPECT_LT(fused.passes, composed.passes);
+    EXPECT_LT(fused.bytes, composed.bytes);
+}
+
+} // namespace
+} // namespace cl

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Property tests for the fused pipeline kernels (DESIGN.md §5e):
+ * every fused kernel must be bit-identical to the composed sequence
+ * of primitive kernels it replaces — including the Harvey lazy
+ * representatives — on every available backend, for every named
+ * prime width, on random inputs and on the lazy-reduction boundary
+ * values q-1, 2q-1, 4q-1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rns/ntt.h"
+#include "rns/primes.h"
+#include "rns/simd/kernels.h"
+#include "util/prng.h"
+
+namespace {
+
+using namespace cl;
+
+/** Restores the active backend on scope exit. */
+class BackendGuard
+{
+  public:
+    BackendGuard() : saved_(activeSimdBackend()) {}
+    ~BackendGuard() { setSimdBackend(saved_); }
+
+  private:
+    SimdBackend saved_;
+};
+
+/** Restores the fusion gate on scope exit. */
+class FusionGuard
+{
+  public:
+    FusionGuard() : saved_(fusionEnabled()) {}
+    ~FusionGuard() { setFusionEnabled(saved_); }
+
+  private:
+    bool saved_;
+};
+
+std::vector<SimdBackend>
+allBackends()
+{
+    std::vector<SimdBackend> v{SimdBackend::Scalar};
+    for (SimdBackend b : {SimdBackend::Avx2, SimdBackend::Avx512}) {
+        if (kernelTableFor(b))
+            v.push_back(b);
+    }
+    return v;
+}
+
+const unsigned kPrimeWidths[] = {28, 40, 50, 60};
+
+u64
+primeOfWidth(unsigned bits, std::size_t n = 1 << 10)
+{
+    return generateNttPrimes(bits, n, 1)[0];
+}
+
+/** Two distinct primes of the same width (q and the dropped ql). */
+std::pair<u64, u64>
+primePair(unsigned bits, std::size_t n = 1 << 10)
+{
+    const auto p = generateNttPrimes(bits, n, 2);
+    return {p[0], p[1]};
+}
+
+std::vector<u64>
+randomVec(std::size_t n, u64 bound, u64 seed,
+          std::initializer_list<u64> boundary = {})
+{
+    std::vector<u64> v(n);
+    FastRng rng(seed);
+    for (auto &x : v)
+        x = rng.nextBelow(bound);
+    std::size_t i = 0;
+    for (u64 b : boundary) {
+        if (i < n)
+            v[i++] = b;
+        if (i + 5 < n)
+            v[i + 5] = b;
+    }
+    return v;
+}
+
+// Odd lengths force every kernel's scalar tail path.
+const std::size_t kLens[] = {1, 7, 64, 259};
+
+/** Rescale constants for dropping tower ql, correcting residues mod q.
+ *  With @p with_scale the nInv pair is a real N^-1 Shoup pair (NTT
+ *  path); otherwise the exact identity pair {1, 2^64/q} (coeff path,
+ *  mulLazy(x, 1) == x for x < q). */
+RescaleConsts
+makeConsts(u64 q, u64 ql, u64 n_inv_value)
+{
+    const ShoupMul n_inv(n_inv_value, q);
+    const ShoupMul ql_inv(invMod(ql % q, q), q);
+    return RescaleConsts{n_inv.w,  n_inv.wPrec,  ql,
+                         ql / 2,   ql_inv.w,     ql_inv.wPrec};
+}
+
+/** The composed rescale correction, built only from the primitive
+ *  scalar kernels the fused path replaces: iNTT-scale fold to
+ *  canonical, centered last-tower subtract, q_l^-1 Shoup multiply. */
+std::vector<u64>
+composedRescale(std::vector<u64> a, const std::vector<u64> &xl,
+                const RescaleConsts &rc, u64 q)
+{
+    const KernelTable &R = *kernelTableFor(SimdBackend::Scalar);
+    const std::size_t n = a.size();
+    R.nttScaleInvVec(a.data(), n, rc.nInvW, rc.nInvPrec, q);
+    std::vector<u64> xm(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const u64 xs = addMod(xl[i], rc.half, rc.ql);
+        xm[i] = subMod(xs % q, rc.half % q, q);
+    }
+    R.subModVec(a.data(), xm.data(), n, q);
+    R.mulModShoupVec(a.data(), a.data(), n, rc.qlInvW, rc.qlInvPrec, q);
+    return a;
+}
+
+class FusedKernelTest : public ::testing::TestWithParam<SimdBackend>
+{
+  protected:
+    const KernelTable &vec() { return *kernelTableFor(GetParam()); }
+};
+
+TEST_P(FusedKernelTest, InvScaleButterflyMatchesComposed)
+{
+    // Fused last-GS-stage + N^-1 scale vs. nttInvButterflyVec followed
+    // by nttScaleInvVec on both halves.
+    const KernelTable &R = *kernelTableFor(SimdBackend::Scalar);
+    for (unsigned bits : kPrimeWidths) {
+        const u64 q = primeOfWidth(bits);
+        const ShoupMul w(q - 2, q);
+        const ShoupMul n_inv(invMod(1024 % q, q), q);
+        for (std::size_t t : kLens) {
+            // GS inputs live in [0, 2q); salt both lazy boundaries.
+            auto x1 = randomVec(t, 2 * q, 211 * bits + t,
+                                {q - 1, 2 * q - 1, 0});
+            auto y1 = randomVec(t, 2 * q, 223 * bits + t,
+                                {2 * q - 1, 0, q - 1});
+            auto x2 = x1, y2 = y1;
+
+            R.nttInvButterflyVec(x1.data(), y1.data(), t, w.w, w.wPrec,
+                                 q);
+            R.nttScaleInvVec(x1.data(), t, n_inv.w, n_inv.wPrec, q);
+            R.nttScaleInvVec(y1.data(), t, n_inv.w, n_inv.wPrec, q);
+
+            vec().nttInvScaleButterflyVec(x2.data(), y2.data(), t, w.w,
+                                          w.wPrec, n_inv.w, n_inv.wPrec,
+                                          q);
+            ASSERT_EQ(x1, x2) << "bits=" << bits << " t=" << t;
+            ASSERT_EQ(y1, y2) << "bits=" << bits << " t=" << t;
+        }
+    }
+}
+
+TEST_P(FusedKernelTest, RescaleEpilogueMatchesComposed)
+{
+    for (unsigned bits : kPrimeWidths) {
+        const auto [q, ql] = primePair(bits);
+        for (std::size_t n : kLens) {
+            const auto xl =
+                randomVec(n, ql, 227 * bits + n, {ql - 1, 0});
+
+            // NTT path: lazy iNTT output in [0, 2q), real N^-1 pair.
+            {
+                const auto rc = makeConsts(q, ql, invMod(1024 % q, q));
+                auto a = randomVec(n, 2 * q, 229 * bits + n,
+                                   {q - 1, 2 * q - 1, 0});
+                const auto expect = composedRescale(a, xl, rc, q);
+                vec().rescaleEpilogueVec(a.data(), xl.data(), n, &rc, q);
+                ASSERT_EQ(a, expect)
+                    << "ntt path bits=" << bits << " n=" << n;
+            }
+
+            // Coeff path: canonical input, identity Shoup pair {1, .}.
+            {
+                const auto rc = makeConsts(q, ql, 1);
+                auto a = randomVec(n, q, 233 * bits + n, {q - 1, 0});
+                const auto a0 = a;
+                const auto expect = composedRescale(a, xl, rc, q);
+                vec().rescaleEpilogueVec(a.data(), xl.data(), n, &rc, q);
+                ASSERT_EQ(a, expect)
+                    << "coeff path bits=" << bits << " n=" << n;
+
+                // The identity pair really is the identity: the fold
+                // step of composedRescale must not have changed a.
+                auto ident = a0;
+                kernelTableFor(SimdBackend::Scalar)
+                    ->nttScaleInvVec(ident.data(), n, rc.nInvW,
+                                     rc.nInvPrec, q);
+                ASSERT_EQ(ident, a0);
+            }
+        }
+    }
+}
+
+TEST_P(FusedKernelTest, RescaleNttFwdButterflyMatchesComposed)
+{
+    // Fused correction + first CT stage vs. the composed correction of
+    // both halves followed by nttFwdButterflyVec (whose [0,4q)->[0,2q)
+    // fold is a no-op on the canonical corrected values).
+    const KernelTable &R = *kernelTableFor(SimdBackend::Scalar);
+    for (unsigned bits : kPrimeWidths) {
+        const auto [q, ql] = primePair(bits);
+        const ShoupMul w(q / 5 + 3, q);
+        const auto rc = makeConsts(q, ql, invMod(1024 % q, q));
+        for (std::size_t t : kLens) {
+            auto x1 = randomVec(t, 2 * q, 239 * bits + t,
+                                {q - 1, 2 * q - 1, 0});
+            auto y1 = randomVec(t, 2 * q, 241 * bits + t,
+                                {2 * q - 1, 0, q - 1});
+            const auto xlx =
+                randomVec(t, ql, 251 * bits + t, {ql - 1, 0});
+            const auto xly =
+                randomVec(t, ql, 257 * bits + t, {0, ql - 1});
+            auto x2 = x1, y2 = y1;
+
+            x1 = composedRescale(x1, xlx, rc, q);
+            y1 = composedRescale(y1, xly, rc, q);
+            R.nttFwdButterflyVec(x1.data(), y1.data(), t, w.w, w.wPrec,
+                                 q);
+
+            vec().rescaleNttFwdButterflyVec(x2.data(), y2.data(),
+                                            xlx.data(), xly.data(), t,
+                                            &rc, w.w, w.wPrec, q);
+            ASSERT_EQ(x1, x2) << "bits=" << bits << " t=" << t;
+            ASSERT_EQ(y1, y2) << "bits=" << bits << " t=" << t;
+        }
+    }
+}
+
+TEST_P(FusedKernelTest, CorrectSubMulShoupMatchesComposed)
+{
+    // Fused forward-NTT correction + modDown epilogue vs.
+    // nttCorrectVec followed by subMulShoupVec.
+    const KernelTable &R = *kernelTableFor(SimdBackend::Scalar);
+    for (unsigned bits : kPrimeWidths) {
+        const u64 q = primeOfWidth(bits);
+        const ShoupMul w(q - 7, q);
+        for (std::size_t n : kLens) {
+            // Forward-NTT output lives in [0, 4q): salt every fold
+            // boundary.
+            auto x1 = randomVec(n, 4 * q, 263 * bits + n,
+                                {q - 1, 2 * q - 1, 4 * q - 1});
+            const auto acc =
+                randomVec(n, q, 269 * bits + n, {q - 1, 0});
+            auto x2 = x1;
+            std::vector<u64> d1(n), d2(n);
+
+            R.nttCorrectVec(x1.data(), n, q);
+            R.subMulShoupVec(d1.data(), acc.data(), x1.data(), n, w.w,
+                             w.wPrec, q);
+
+            vec().nttCorrectSubMulShoupVec(d2.data(), acc.data(),
+                                           x2.data(), n, w.w, w.wPrec,
+                                           q);
+            ASSERT_EQ(d1, d2) << "bits=" << bits << " n=" << n;
+        }
+    }
+}
+
+TEST_P(FusedKernelTest, WholeInverseNttFusedMatchesComposed)
+{
+    // NttTables::inverse with fusion on (last GS stage fused with the
+    // scale) must be bit-identical to the composed inverse, and both
+    // must round-trip forward.
+    BackendGuard backend_guard;
+    FusionGuard fusion_guard;
+    ASSERT_TRUE(setSimdBackend(GetParam()));
+    const std::size_t n = 1 << 12;
+    for (unsigned bits : {28u, 50u}) {
+        const u64 q = generateNttPrimes(bits, n, 1)[0];
+        NttTables tables(n, q);
+        const auto input = randomVec(n, q, 2000 + bits, {0, q - 1});
+
+        auto fwd = input;
+        tables.forward(fwd.data());
+
+        setFusionEnabled(false);
+        auto composed = fwd;
+        tables.inverse(composed.data());
+        EXPECT_EQ(composed, input) << "composed round trip bits=" << bits;
+
+        setFusionEnabled(true);
+        auto fused = fwd;
+        tables.inverse(fused.data());
+        ASSERT_EQ(fused, composed) << "bits=" << bits;
+    }
+}
+
+TEST_P(FusedKernelTest, ForwardRescaleMatchesComposedPipeline)
+{
+    // The whole fused rescale tower pipeline: inverseLazy +
+    // forwardRescale must equal inverse (canonical), composed
+    // correction, forward — the exact sequence the unfused
+    // rescaleLastTower runs per tower.
+    BackendGuard backend_guard;
+    FusionGuard fusion_guard;
+    ASSERT_TRUE(setSimdBackend(GetParam()));
+    const std::size_t n = 1 << 12;
+    for (unsigned bits : {28u, 50u}) {
+        auto primes = generateNttPrimes(bits, n, 2);
+        const u64 q = primes[0], ql = primes[1];
+        NttTables tables(n, q);
+        const ShoupMul ql_inv(invMod(ql % q, q), q);
+        const RescaleConsts rc{tables.nInv().w, tables.nInv().wPrec,
+                               ql, ql / 2, ql_inv.w, ql_inv.wPrec};
+
+        const auto input = randomVec(n, q, 3000 + bits, {q - 1, 0});
+        const auto xl = randomVec(n, ql, 3100 + bits, {ql - 1, 0});
+
+        // Composed: canonical inverse (unfused), identity-pair
+        // correction, canonical forward.
+        setFusionEnabled(false);
+        auto composed = input;
+        tables.inverse(composed.data());
+        composed = composedRescale(composed, xl, makeConsts(q, ql, 1), q);
+        tables.forward(composed.data());
+
+        // Fused: lazy inverse, correction with the real N^-1 pair
+        // folded into the forward transform's first CT stage.
+        auto fused = input;
+        tables.inverseLazy(fused.data());
+        tables.forwardRescale(fused.data(), xl.data(), rc);
+
+        ASSERT_EQ(fused, composed) << "bits=" << bits;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AvailableBackends, FusedKernelTest,
+    ::testing::ValuesIn(allBackends()),
+    [](const ::testing::TestParamInfo<SimdBackend> &info) {
+        return simdBackendName(info.param);
+    });
+
+TEST(FusionGate, SetAndRestore)
+{
+    FusionGuard guard;
+    setFusionEnabled(false);
+    EXPECT_FALSE(fusionEnabled());
+    setFusionEnabled(true);
+    EXPECT_TRUE(fusionEnabled());
+}
+
+} // namespace

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON snapshots (BENCH_*.json).
+
+Usage:
+  tools/bench_diff.py OLD.json NEW.json [--threshold PCT] [--fail-on-regression]
+  tools/bench_diff.py --check FILE.json [FILE.json ...]
+
+Diff mode prints a per-benchmark table of real/cpu time deltas
+(negative = NEW is faster), normalizing time units, plus benchmarks
+added or removed between the snapshots. With --fail-on-regression the
+exit status is 1 when any shared benchmark regressed by more than
+--threshold percent (default 10).
+
+--check mode validates snapshot hygiene instead of diffing: the context
+must say cl_build_type Release, must not carry a debug benchmark
+library without the cl_forced marker, and every entry must have a
+positive real_time. Used by CI on the checked-in tables.
+"""
+
+import argparse
+import json
+import sys
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if "benchmarks" not in data or "context" not in data:
+        raise SystemExit(f"{path}: not a google-benchmark JSON file")
+    return data
+
+
+def entries(data):
+    """name -> (real_ns, cpu_ns), aggregates and error runs skipped."""
+    out = {}
+    for b in data["benchmarks"]:
+        if b.get("run_type") == "aggregate" or "error_occurred" in b:
+            continue
+        scale = _UNIT_NS.get(b.get("time_unit", "ns"))
+        if scale is None:
+            raise SystemExit(f"unknown time_unit {b['time_unit']!r} "
+                             f"in {b['name']}")
+        out[b["name"]] = (b["real_time"] * scale, b["cpu_time"] * scale)
+    return out
+
+
+def fmt_ns(ns):
+    for unit, div in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= div:
+            return f"{ns / div:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def diff(old_path, new_path, threshold, fail_on_regression):
+    old = entries(load(old_path))
+    new = entries(load(new_path))
+    shared = [n for n in old if n in new]
+    added = [n for n in new if n not in old]
+    removed = [n for n in old if n not in new]
+
+    width = max((len(n) for n in shared), default=4)
+    print(f"{'benchmark':<{width}}  {'old':>9}  {'new':>9}  "
+          f"{'real':>8}  {'cpu':>8}")
+    regressions = []
+    for name in shared:
+        o_real, o_cpu = old[name]
+        n_real, n_cpu = new[name]
+        d_real = 100.0 * (n_real - o_real) / o_real if o_real else 0.0
+        d_cpu = 100.0 * (n_cpu - o_cpu) / o_cpu if o_cpu else 0.0
+        flag = ""
+        if d_real > threshold:
+            flag = "  << regression"
+            regressions.append((name, d_real))
+        elif d_real < -threshold:
+            flag = "  << improvement"
+        print(f"{name:<{width}}  {fmt_ns(o_real):>9}  "
+              f"{fmt_ns(n_real):>9}  {d_real:>+7.1f}%  "
+              f"{d_cpu:>+7.1f}%{flag}")
+
+    for name in added:
+        print(f"{name:<{width}}  {'-':>9}  {fmt_ns(new[name][0]):>9}  "
+              f"{'added':>8}")
+    for name in removed:
+        print(f"{name:<{width}}  {fmt_ns(old[name][0]):>9}  {'-':>9}  "
+              f"{'removed':>8}")
+
+    if not shared:
+        print("warning: no shared benchmarks between the snapshots",
+              file=sys.stderr)
+    if regressions and fail_on_regression:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{threshold:g}%:", file=sys.stderr)
+        for name, pct in regressions:
+            print(f"  {name}  {pct:+.1f}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+def check(paths):
+    """Hygiene checks on checked-in snapshots."""
+    bad = 0
+    for path in paths:
+        data = load(path)
+        ctx = data["context"]
+        problems = []
+        if ctx.get("cl_build_type") != "Release":
+            problems.append(
+                f"cl_build_type is {ctx.get('cl_build_type')!r}, "
+                "expected 'Release'")
+        lib = ctx.get("cl_library_build_type")
+        if lib not in (None, "release") and ctx.get("cl_forced") != "true":
+            problems.append(
+                f"benchmark library build type is {lib!r} without a "
+                "cl_forced marker")
+        names = set()
+        for b in data["benchmarks"]:
+            if b.get("run_type") == "aggregate":
+                continue
+            if b["name"] in names:
+                problems.append(f"duplicate benchmark {b['name']!r}")
+            names.add(b["name"])
+            if "error_occurred" in b:
+                problems.append(f"{b['name']} recorded an error: "
+                                f"{b.get('error_message', '?')}")
+            elif b.get("real_time", 0) <= 0:
+                problems.append(f"{b['name']} has non-positive real_time")
+        if problems:
+            bad += 1
+            print(f"{path}: FAIL")
+            for p in problems:
+                print(f"  - {p}")
+        else:
+            forced = " (forced)" if ctx.get("cl_forced") == "true" else ""
+            print(f"{path}: ok, {len(names)} benchmarks{forced}")
+    return 1 if bad else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="+",
+                    help="OLD.json NEW.json, or snapshots with --check")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="percent change flagged as regression/improvement"
+                         " (default 10)")
+    ap.add_argument("--fail-on-regression", action="store_true",
+                    help="exit 1 when a shared benchmark regresses past"
+                         " the threshold")
+    ap.add_argument("--check", action="store_true",
+                    help="validate snapshot hygiene instead of diffing")
+    args = ap.parse_args()
+
+    if args.check:
+        return check(args.files)
+    if len(args.files) != 2:
+        ap.error("diff mode takes exactly two files (OLD.json NEW.json)")
+    return diff(args.files[0], args.files[1], args.threshold,
+                args.fail_on_regression)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
